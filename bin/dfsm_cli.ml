@@ -1,0 +1,354 @@
+(* dfsm — command-line front end to the pFSM vulnerability-analysis
+   library: database statistics, per-application FSM analysis,
+   Graphviz export, exploit driving, discovery, and lemma checking. *)
+
+let apps = [ "sendmail"; "nullhttpd"; "xterm"; "rwall"; "iis"; "ghttpd"; "rpcstatd" ]
+
+let model_of = function
+  | "sendmail" -> Apps.Sendmail.model (Apps.Sendmail.setup ())
+  | "nullhttpd" -> Apps.Nullhttpd.model (Apps.Nullhttpd.setup ())
+  | "xterm" -> Apps.Xterm.model ()
+  | "rwall" -> Apps.Rwall.model (Apps.Rwall.setup ())
+  | "iis" -> Apps.Iis.model (Apps.Iis.setup ())
+  | "ghttpd" -> Apps.Ghttpd.model (Apps.Ghttpd.setup ())
+  | "rpcstatd" -> Apps.Rpc_statd.model (Apps.Rpc_statd.setup ())
+  | other -> invalid_arg ("unknown application: " ^ other)
+
+let scenarios_of = function
+  | "sendmail" ->
+      let app = Apps.Sendmail.setup () in
+      [ Apps.Sendmail.exploit_scenario app; Apps.Sendmail.benign_scenario ]
+  | "nullhttpd" ->
+      let app = Apps.Nullhttpd.setup () in
+      let cl5774, body5774 = Exploit.Attack.nullhttpd_5774 app in
+      let cl6255, body6255 = Exploit.Attack.nullhttpd_6255 app in
+      [ Apps.Nullhttpd.scenario ~content_len:cl5774 ~body:body5774;
+        Apps.Nullhttpd.scenario ~content_len:cl6255 ~body:body6255;
+        Apps.Nullhttpd.benign_scenario ]
+  | "xterm" -> [ Apps.Xterm.race_scenario; Apps.Xterm.benign_scenario ]
+  | "rwall" -> [ Apps.Rwall.attack_scenario; Apps.Rwall.benign_scenario ]
+  | "iis" ->
+      [ Apps.Iis.scenario ~path:Exploit.Attack.iis_path;
+        Apps.Iis.scenario ~path:Apps.Iis.benign_path ]
+  | "ghttpd" ->
+      let app = Apps.Ghttpd.setup () in
+      [ Apps.Ghttpd.scenario ~request:(Exploit.Attack.ghttpd_request app);
+        Apps.Ghttpd.benign_scenario ]
+  | "rpcstatd" ->
+      let app = Apps.Rpc_statd.setup () in
+      [ Apps.Rpc_statd.scenario ~filename:(Exploit.Attack.rpc_statd_filename app);
+        Apps.Rpc_statd.benign_scenario ]
+  | other -> invalid_arg ("unknown application: " ^ other)
+
+(* ---- commands ---------------------------------------------------- *)
+
+let stats seed =
+  let db = Vulndb.Synth.generate ~seed in
+  Format.printf "%a@." Vulndb.Stats.pp_breakdown db;
+  `Ok ()
+
+let analyze app =
+  let model = model_of app in
+  let scenarios = scenarios_of app in
+  Format.printf "%a@." Pfsm.Pretty.pp_model model;
+  let report = Pfsm.Analysis.analyze model ~scenarios in
+  Format.printf "%a@." Pfsm.Pretty.pp_report report;
+  Format.printf "taxonomy:@.%a@." Pfsm.Pretty.pp_matrix
+    (Pfsm.Analysis.taxonomy_matrix model);
+  `Ok ()
+
+let dot app =
+  print_string (Pfsm.Dot.of_model (model_of app));
+  `Ok ()
+
+let exploit_cmd () =
+  Format.printf "%a@." Exploit.Driver.pp_rows (Exploit.Driver.all_rows ());
+  `Ok ()
+
+let consistency () =
+  Format.printf "%a@." Exploit.Consistency.pp_entries (Exploit.Consistency.check_all ());
+  Format.printf "all consistent: %b@." (Exploit.Consistency.all_consistent ());
+  `Ok ()
+
+let discover app =
+  (match app with
+   | "nullhttpd" -> (
+       match Discovery.Differential.rediscover_6255 () with
+       | Some finding -> Format.printf "%a@.@." Discovery.Finding.pp finding
+       | None -> Format.printf "differential sweep found no divergence@.")
+   | _ -> ());
+  let findings = Discovery.Search.discover (model_of app) ~scenarios:(scenarios_of app) in
+  List.iter (fun f -> Format.printf "%a@.@." Discovery.Finding.pp f) findings;
+  Format.printf "%d hidden-path finding(s)@." (List.length findings);
+  `Ok ()
+
+let lemma () =
+  Format.printf "%a@." Exploit.Protection.pp_entries (Exploit.Protection.entries ());
+  Format.printf "lemma holds: %b@." (Exploit.Protection.lemma_holds ());
+  `Ok ()
+
+let metrics () =
+  let ms = List.map (fun a -> Pfsm.Metrics.of_model (model_of a)) apps in
+  Format.printf "%a@." Pfsm.Metrics.pp_table ms;
+  `Ok ()
+
+let ablation () =
+  Format.printf "%a@." Exploit.Ablation.pp_rows (Exploit.Ablation.rows ());
+  Format.printf "control-flow hijacks prevented: %b@."
+    (Exploit.Ablation.control_flow_hijacks_prevented ());
+  `Ok ()
+
+let csv seed =
+  print_string (Vulndb.Csv.of_database (Vulndb.Synth.generate ~seed));
+  `Ok ()
+
+let trend seed =
+  let db = Vulndb.Synth.generate ~seed in
+  Format.printf "reports per year:@.%a@." Vulndb.Trend.pp_series
+    (Vulndb.Trend.per_year db);
+  Format.printf "studied family per year:@.%a@." Vulndb.Trend.pp_series
+    (Vulndb.Trend.family_per_year db);
+  `Ok ()
+
+(* Check a user-supplied spec/impl predicate pair over a domain:
+   the paper's methodology as a standalone tool. *)
+let check spec_src impl_src ints strings =
+  match Pfsm.Parse.predicate spec_src, Pfsm.Parse.predicate impl_src with
+  | Error e, _ ->
+      `Error (false, Printf.sprintf "--spec: at %d: %s" e.Pfsm.Parse.position
+                e.Pfsm.Parse.message)
+  | _, Error e ->
+      `Error (false, Printf.sprintf "--impl: at %d: %s" e.Pfsm.Parse.position
+                e.Pfsm.Parse.message)
+  | Ok spec, Ok impl ->
+      let pfsm =
+        Pfsm.Primitive.make ~name:"pFSM" ~kind:Pfsm.Taxonomy.Content_attribute_check
+          ~activity:"user-supplied check" ~spec ~impl
+      in
+      Format.printf "%a@.@." Pfsm.Pretty.pp_pfsm pfsm;
+      let domain =
+        match ints, strings with
+        | Some (low, high), _ -> Pfsm.Verify.Int_range { low; high }
+        | None, _ :: _ -> Pfsm.Verify.Strings strings
+        | None, [] -> Pfsm.Verify.Int_range { low = -1024; high = 1024 }
+      in
+      Format.printf "%a@." Pfsm.Verify.pp_result (Pfsm.Verify.verify pfsm domain);
+      `Ok ()
+
+(* The automatic tool on a source file: parse mini-C, extract the
+   implementation predicate, verify it against the analyst's spec. *)
+let extract file object_var spec_src ints =
+  match Pfsm.Parse.predicate spec_src with
+  | Error e ->
+      `Error (false, Printf.sprintf "--spec: at %d: %s" e.Pfsm.Parse.position
+                e.Pfsm.Parse.message)
+  | Ok spec -> (
+      let source = In_channel.with_open_text file In_channel.input_all in
+      match Minic.Parser.program source with
+      | Error e ->
+          `Error (false, Printf.sprintf "%s: line %d: %s" file e.Minic.Parser.line
+                    e.Minic.Parser.message)
+      | Ok funcs ->
+          List.iter
+            (fun f ->
+               Format.printf "%a@.@." Minic.Ast.pp_func f;
+               match Minic.Extract.impl_predicate f ~object_var with
+               | None ->
+                   Format.printf
+                     "%s: no extractable guard over %s (outside the fragment, or no \
+                      dangerous operation)@.@."
+                     f.Minic.Ast.name object_var
+               | Some impl ->
+                   Format.printf "extracted impl: %s@." (Pfsm.Predicate.to_string impl);
+                   Format.printf "analyst spec  : %s@." (Pfsm.Predicate.to_string spec);
+                   let pfsm =
+                     Pfsm.Primitive.make ~name:(f.Minic.Ast.name ^ "/auto")
+                       ~kind:Pfsm.Taxonomy.Content_attribute_check
+                       ~activity:("dangerous operation in " ^ f.Minic.Ast.name)
+                       ~spec ~impl
+                   in
+                   let low, high = ints in
+                   Format.printf "verification  : %a@.@." Pfsm.Verify.pp_result
+                     (Pfsm.Verify.verify pfsm (Pfsm.Verify.Int_range { low; high })))
+            funcs;
+          `Ok ())
+
+let matrix () =
+  Format.printf "%a@." Exploit.Matrix.pp ();
+  Format.printf "section-6 claims hold: %b@." (Exploit.Matrix.section6_claims_hold ());
+  `Ok ()
+
+(* Write every diagram the paper draws (and the attack graphs) as
+   Graphviz files into a directory. *)
+let export dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let path = Filename.concat dir name in
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+    Format.printf "wrote %s@." path
+  in
+  List.iter
+    (fun app -> write (app ^ ".dot") (Pfsm.Dot.of_model (model_of app)))
+    apps;
+  let fig2 =
+    Pfsm.Primitive.make ~name:"pFSM" ~kind:Pfsm.Taxonomy.Content_attribute_check
+      ~activity:"accept an index x"
+      ~spec:(Pfsm.Predicate.between Pfsm.Predicate.Self ~low:0 ~high:100)
+      ~impl:
+        (Pfsm.Predicate.Cmp
+           (Pfsm.Predicate.Le, Pfsm.Predicate.Self,
+            Pfsm.Predicate.Lit (Pfsm.Value.Int 100)))
+  in
+  write "figure2_pfsm.dot" (Pfsm.Dot.of_primitive fig2);
+  List.iter
+    (fun app ->
+       let model = model_of app in
+       let report = Pfsm.Analysis.analyze model ~scenarios:(scenarios_of app) in
+       write (app ^ "_attack_graph.dot")
+         (Baselines.Attack_graph.to_dot (Baselines.Attack_graph.of_report report)))
+    apps;
+  Format.printf "render with: dot -Tsvg %s/sendmail.dot > sendmail.svg@." dir;
+  `Ok ()
+
+let baselines () =
+  let app = Apps.Sendmail.setup () in
+  let model = Apps.Sendmail.model app in
+  let scenario = Apps.Sendmail.exploit_scenario app in
+  (match Baselines.Markov.metf_of_model ~retry:0.2 model ~scenario with
+   | Some e -> Format.printf "Sendmail METF (retry 0.2): %.1f effort units@." e
+   | None -> Format.printf "Sendmail METF: infinite@.");
+  let report =
+    Pfsm.Analysis.analyze model ~scenarios:[ scenario; Apps.Sendmail.benign_scenario ]
+  in
+  let g = Baselines.Attack_graph.of_report report in
+  Format.printf "%a@." Baselines.Attack_graph.pp g;
+  print_string (Baselines.Attack_graph.to_dot g);
+  `Ok ()
+
+(* ---- cmdliner plumbing ------------------------------------------- *)
+
+open Cmdliner
+
+let app_arg =
+  let doc =
+    Printf.sprintf "Application to analyse: %s." (String.concat ", " apps)
+  in
+  Arg.(required & pos 0 (some (enum (List.map (fun a -> (a, a)) apps))) None
+       & info [] ~docv:"APP" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 20021130 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Figure-1 database breakdown")
+    Term.(ret (const stats $ seed_arg))
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Print an application's FSM model and analysis")
+    Term.(ret (const analyze $ app_arg))
+
+let dot_cmd =
+  Cmd.v (Cmd.info "dot" ~doc:"Emit the model as Graphviz dot")
+    Term.(ret (const dot $ app_arg))
+
+let exploit_cmd_ =
+  Cmd.v (Cmd.info "exploit" ~doc:"Run every canned exploit against every configuration")
+    Term.(ret (const exploit_cmd $ const ()))
+
+let consistency_cmd =
+  Cmd.v (Cmd.info "consistency" ~doc:"Cross-check model verdicts against simulations")
+    Term.(ret (const consistency $ const ()))
+
+let discover_cmd =
+  Cmd.v (Cmd.info "discover" ~doc:"Hunt for hidden IMPL_ACPT paths (rediscovers #6255)")
+    Term.(ret (const discover $ app_arg))
+
+let lemma_cmd =
+  Cmd.v (Cmd.info "lemma" ~doc:"Validate the foiling lemma in model and simulation")
+    Term.(ret (const lemma $ const ()))
+
+let metrics_cmd =
+  Cmd.v (Cmd.info "metrics" ~doc:"Structural metrics of every model (Observations 1-3)")
+    Term.(ret (const metrics $ const ()))
+
+let ablation_cmd =
+  Cmd.v (Cmd.info "ablation" ~doc:"ASLR ablation over the four memory exploits")
+    Term.(ret (const ablation $ const ()))
+
+let csv_cmd =
+  Cmd.v (Cmd.info "csv" ~doc:"Dump the synthetic database as CSV")
+    Term.(ret (const csv $ seed_arg))
+
+let trend_cmd =
+  Cmd.v (Cmd.info "trend" ~doc:"Per-year report series")
+    Term.(ret (const trend $ seed_arg))
+
+let spec_arg =
+  Arg.(required & opt (some string) None
+       & info [ "spec" ] ~docv:"PRED" ~doc:"Specification accept-predicate.")
+
+let impl_arg =
+  Arg.(required & opt (some string) None
+       & info [ "impl" ] ~docv:"PRED" ~doc:"Implementation accept-predicate.")
+
+let ints_arg =
+  Arg.(value & opt (some (pair ~sep:':' int int)) None
+       & info [ "ints" ] ~docv:"LOW:HIGH" ~doc:"Integer domain to verify over.")
+
+let strings_arg =
+  Arg.(value & opt (list string) [] & info [ "strings" ] ~docv:"S1,S2,..."
+       ~doc:"String domain to verify over.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify impl => spec for user-supplied predicates over a finite domain")
+    Term.(ret (const check $ spec_arg $ impl_arg $ ints_arg $ strings_arg))
+
+let baselines_cmd =
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:"Markov METF and attack-graph baselines on the Sendmail model")
+    Term.(ret (const baselines $ const ()))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"Mini-C source file.")
+
+let object_arg =
+  Arg.(required & opt (some string) None
+       & info [ "object" ] ~docv:"VAR" ~doc:"The variable the predicate speaks about.")
+
+let extract_ints_arg =
+  Arg.(value & opt (pair ~sep:':' int int) (-2048, 2048)
+       & info [ "ints" ] ~docv:"LOW:HIGH" ~doc:"Integer domain to verify over.")
+
+let dir_arg =
+  Arg.(value & opt string "diagrams" & info [ "out" ] ~docv:"DIR"
+       ~doc:"Output directory for the .dot files.")
+
+let export_cmd =
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write every model and attack graph as Graphviz files")
+    Term.(ret (const export $ dir_arg))
+
+let matrix_cmd =
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Protection x vulnerability matrix (Section 6)")
+    Term.(ret (const matrix $ const ()))
+
+let extract_cmd =
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Extract implementation predicates from mini-C source and verify them")
+    Term.(ret (const extract $ file_arg $ object_arg $ spec_arg $ extract_ints_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "dfsm" ~version:"1.0.0"
+       ~doc:"Data-driven FSM analysis of security vulnerabilities (DSN 2003)")
+    [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
+      lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
+      baselines_cmd; extract_cmd; matrix_cmd; export_cmd ]
+
+let () = exit (Cmd.eval main)

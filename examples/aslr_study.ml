@@ -1,0 +1,38 @@
+(* Address-space layout randomisation vs the paper's exploits.
+
+   The attacker compiles their payload against the layout they expect;
+   we then slide the victim's heap, stack and data segments (but not
+   the GOT — pre-PIE executables could not move it) and watch every
+   control-flow hijack degrade into a crash or a stray write.
+
+   Run with: dune exec examples/aslr_study.exe *)
+
+let () =
+  let seed = Exploit.Ablation.aslr_seed in
+  Format.printf "ASLR seed %d slides: heap +0x%x, stack +0x%x, data +0x%x@.@." seed
+    (Machine.Process.aslr_slide ~seed ~region:1)
+    (Machine.Process.aslr_slide ~seed ~region:2)
+    (Machine.Process.aslr_slide ~seed ~region:3);
+
+  Format.printf "%a@." Exploit.Ablation.pp_rows (Exploit.Ablation.rows ());
+
+  Format.printf
+    "@.control-flow hijacks prevented: %b@."
+    (Exploit.Ablation.control_flow_hijacks_prevented ());
+  print_endline
+    "every exploit still reaches its memory error -- randomisation degrades the\n\
+     outcome (no attacker code runs) without removing the vulnerability; only the\n\
+     elementary-activity checks of the FSM model remove it.";
+
+  (* The pFSM view: ASLR is NOT one of the model's checks.  The hidden
+     paths are still there; what changed is the attacker's knowledge
+     of addresses, which lives outside the predicates. *)
+  let app = Apps.Ghttpd.setup ~aslr_seed:seed () in
+  let model = Apps.Ghttpd.model app in
+  let reference = Apps.Ghttpd.setup () in
+  let request = Exploit.Attack.ghttpd_request reference in
+  let trace = Pfsm.Model.run model ~env:(Apps.Ghttpd.scenario ~request) in
+  Format.printf
+    "@.the FSM model still flags the slid GHTTPD as exploited (%b): the hidden@.\
+     paths are properties of the checks, not of the addresses.@."
+    (Pfsm.Trace.exploited trace)

@@ -1,0 +1,64 @@
+(* The "automatic tool for the vulnerability analysis" the paper's
+   conclusion proposes, end to end:
+
+     source code  --extract-->  implementation predicate
+     + analyst's spec  --verify-->  certificate or witness
+     + interpreter  --differential-->  the witness really misbehaves
+
+   Run with: dune exec examples/auto_extract.exe *)
+
+let analyse ~label ~func ~object_var ~spec ~domain ~witness_runner =
+  Format.printf "=== %s ===@.@.%a@.@." label Minic.Ast.pp_func func;
+  match Minic.Extract.impl_predicate func ~object_var with
+  | None -> print_endline "guard not extractable (outside the supported fragment)"
+  | Some impl ->
+      Format.printf "extracted impl predicate : %s@." (Pfsm.Predicate.to_string impl);
+      Format.printf "analyst's spec predicate : %s@." (Pfsm.Predicate.to_string spec);
+      let pfsm =
+        Pfsm.Primitive.make ~name:"auto" ~kind:Pfsm.Taxonomy.Content_attribute_check
+          ~activity:label ~spec ~impl
+      in
+      (match Pfsm.Verify.verify pfsm domain with
+       | Pfsm.Verify.Verified { candidates } ->
+           Format.printf "verification             : SECURE on all %d candidates@.@."
+             candidates
+       | Pfsm.Verify.Refuted { witness; _ } ->
+           Format.printf "verification             : VULNERABLE, witness %s@."
+             (Pfsm.Value.to_string witness);
+           Format.printf "running the witness      : %a@.@." Minic.Interp.pp_outcome
+             (witness_runner witness)
+       | Pfsm.Verify.Domain_too_large _ ->
+           Format.printf "domain too large@.@.")
+
+let () =
+  let int_domain = Pfsm.Verify.Int_range { low = -2048; high = 2048 } in
+  let str_domain =
+    Pfsm.Verify.Strings (List.init 260 (fun n -> String.make n 'a'))
+  in
+  let run_tTflag f witness =
+    match witness with
+    | Pfsm.Value.Int x ->
+        Minic.Corpus.run_tTflag f ~str_x:(string_of_int x) ~str_i:"7"
+    | _ -> Minic.Interp.Rejected "bad witness type"
+  in
+  let run_log f witness =
+    match witness with
+    | Pfsm.Value.Str request -> Minic.Corpus.run_log f ~request
+    | _ -> Minic.Interp.Rejected "bad witness type"
+  in
+  analyse ~label:"Sendmail tTflag, as shipped" ~func:Minic.Corpus.tTflag_vulnerable
+    ~object_var:Minic.Corpus.tTflag_object ~spec:Minic.Corpus.tTflag_spec
+    ~domain:int_domain ~witness_runner:(run_tTflag Minic.Corpus.tTflag_vulnerable);
+  analyse ~label:"Sendmail tTflag, fixed" ~func:Minic.Corpus.tTflag_fixed
+    ~object_var:Minic.Corpus.tTflag_object ~spec:Minic.Corpus.tTflag_spec
+    ~domain:int_domain ~witness_runner:(run_tTflag Minic.Corpus.tTflag_fixed);
+  analyse ~label:"GHTTPD Log, as shipped" ~func:Minic.Corpus.log_vulnerable
+    ~object_var:Minic.Corpus.log_object ~spec:Minic.Corpus.log_spec
+    ~domain:str_domain ~witness_runner:(run_log Minic.Corpus.log_vulnerable);
+  analyse ~label:"GHTTPD Log, the tempting off-by-one fix"
+    ~func:Minic.Corpus.log_off_by_one ~object_var:Minic.Corpus.log_object
+    ~spec:Minic.Corpus.log_spec ~domain:str_domain
+    ~witness_runner:(run_log Minic.Corpus.log_off_by_one);
+  analyse ~label:"GHTTPD Log, correct fix" ~func:Minic.Corpus.log_fixed
+    ~object_var:Minic.Corpus.log_object ~spec:Minic.Corpus.log_spec
+    ~domain:str_domain ~witness_runner:(run_log Minic.Corpus.log_fixed)

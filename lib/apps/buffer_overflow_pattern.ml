@@ -1,0 +1,102 @@
+type activity = Get_input_string | Copy_to_buffer | Handle_following_data
+
+let activities = [ Get_input_string; Copy_to_buffer; Handle_following_data ]
+
+let activity_description = function
+  | Get_input_string -> "get input string"
+  | Copy_to_buffer -> "copy the string to a buffer"
+  | Handle_following_data -> "handle data (e.g. return address) following the buffer"
+
+let category_assigned = function
+  | Get_input_string -> Vulndb.Category.Input_validation_error
+  | Copy_to_buffer -> Vulndb.Category.Boundary_condition_error
+  | Handle_following_data -> Vulndb.Category.Failure_to_handle_exceptional_conditions
+
+let bugtraq_example = function
+  | Get_input_string -> 6157
+  | Copy_to_buffer -> 5960
+  | Handle_following_data -> 4479
+
+let buffer_size = 200
+
+let pfsm_name = function
+  | Get_input_string -> "pFSM-get"
+  | Copy_to_buffer -> "pFSM-copy"
+  | Handle_following_data -> "pFSM-ret"
+
+let model () =
+  let get =
+    Pfsm.Checks.pfsm ~name:(pfsm_name Get_input_string) ~check:"length_within"
+      ~activity:(activity_description Get_input_string)
+      (Pfsm.Checks.length_within buffer_size)
+  in
+  let copy =
+    Pfsm.Checks.pfsm ~name:(pfsm_name Copy_to_buffer) ~check:"length_fits_buffer"
+      ~activity:(activity_description Copy_to_buffer)
+      (Pfsm.Checks.length_fits_buffer ~size_key:"buffer.size")
+  in
+  let copy_effect env =
+    let len = String.length (Pfsm.Env.get_str "input" env) in
+    Pfsm.Env.add_bool "return.unchanged" (len <= buffer_size) env
+  in
+  let record env obj =
+    (Pfsm.Env.add_str "input" (Pfsm.Value.as_str obj) env, obj)
+  in
+  let op1 =
+    Pfsm.Operation.make ~name:"Manipulate the input string"
+      ~object_name:"the input string"
+      ~effect_label:"data following the buffer may now be attacker bytes"
+      ~effect_:copy_effect
+      [ Pfsm.Operation.stage ~action:record get;
+        Pfsm.Operation.stage ~action_label:"strcpy into the buffer" copy ]
+  in
+  let ret =
+    Pfsm.Checks.pfsm ~name:(pfsm_name Handle_following_data)
+      ~check:"reference_unchanged"
+      ~activity:(activity_description Handle_following_data)
+      (Pfsm.Checks.reference_unchanged ~flag:"return.unchanged")
+  in
+  let ret_effect env =
+    Pfsm.Env.add_bool "attacker_code_executed"
+      (not (Pfsm.Env.flag "return.unchanged" env))
+      env
+  in
+  let op2 =
+    Pfsm.Operation.make ~name:"Return through the data following the buffer"
+      ~object_name:"the saved return address"
+      ~effect_label:"control transfers into the attacker's bytes"
+      ~effect_:ret_effect
+      [ Pfsm.Operation.stage ~action_label:"ret" ret ]
+  in
+  Pfsm.Model.make
+    ~name:"Generic stack buffer overflow exploitation pattern (Section 3.2)"
+    ~description:
+      "One mechanism, three elementary activities: the buffer-overflow ambiguity \
+       family (#6157 / #5960 / #4479) as a single chain."
+    [ Pfsm.Model.bind
+        ~input:(fun env -> Pfsm.Env.get "input.str" env)
+        ~input_label:"the request string" op1;
+      Pfsm.Model.bind ~input:(fun _ -> Pfsm.Value.Unit)
+        ~input_label:"the saved return address" op2 ]
+
+let scenario s =
+  Pfsm.Env.empty
+  |> Pfsm.Env.add_str "input.str" s
+  |> Pfsm.Env.add_int "buffer.size" buffer_size
+
+let exploit_scenario = scenario (String.make 480 'A')
+
+let benign_scenario = scenario "GET /index.html"
+
+let ambiguity_rows () =
+  let trace = Pfsm.Model.run (model ()) ~env:exploit_scenario in
+  let hidden_at name =
+    List.exists
+      (fun s ->
+         s.Pfsm.Trace.pfsm.Pfsm.Primitive.name = name
+         && s.Pfsm.Trace.verdict.Pfsm.Primitive.hidden)
+      trace.Pfsm.Trace.steps
+  in
+  List.map
+    (fun a -> (a, bugtraq_example a, category_assigned a, hidden_at (pfsm_name a)))
+    activities

@@ -1,0 +1,29 @@
+(** The generic buffer-overflow exploitation pattern of Section 3.2.
+
+    The paper's second Observation-1 family: the same stack-overflow
+    mechanism was filed as input validation error when pinned at
+    "get input string" (#6157), boundary condition error at "copy the
+    string to a buffer" (#5960), and failure to handle exceptional
+    conditions at "handle data following the buffer" (#4479). *)
+
+type activity = Get_input_string | Copy_to_buffer | Handle_following_data
+
+val activities : activity list
+
+val activity_description : activity -> string
+
+val category_assigned : activity -> Vulndb.Category.t
+
+val bugtraq_example : activity -> int
+
+val buffer_size : int
+(** 200 — GHTTPD's buffer, the family's canonical size. *)
+
+val model : unit -> Pfsm.Model.t
+(** Scenario key: ["input.str"]. *)
+
+val exploit_scenario : Pfsm.Env.t
+
+val benign_scenario : Pfsm.Env.t
+
+val ambiguity_rows : unit -> (activity * int * Vulndb.Category.t * bool) list

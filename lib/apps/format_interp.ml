@@ -1,0 +1,95 @@
+type result = {
+  output : string;
+  chars_written : int;
+  writes : (Machine.Addr.t * int) list;
+}
+
+let output_cap = 4096
+
+type state = {
+  buf : Buffer.t;
+  mutable count : int;
+  mutable cursor : Machine.Addr.t;
+  mutable writes : (Machine.Addr.t * int) list;
+}
+
+let emit st s =
+  st.count <- st.count + String.length s;
+  if Buffer.length st.buf < output_cap then
+    Buffer.add_string st.buf (String.sub s 0 (min (String.length s) (output_cap - Buffer.length st.buf)))
+
+(* Emit [n] copies of a pad character without materialising huge
+   strings: only the visible prefix is buffered, the count is exact. *)
+let emit_pad st n =
+  if n > 0 then begin
+    st.count <- st.count + n;
+    let visible = max 0 (min n (output_cap - Buffer.length st.buf)) in
+    if visible > 0 then Buffer.add_string st.buf (String.make visible ' ')
+  end
+
+let pop mem st =
+  let v = Machine.Memory.read_i32 mem st.cursor in
+  st.cursor <- st.cursor + 4;
+  v
+
+let pad_then st ~width rendered =
+  emit_pad st (width - String.length rendered);
+  emit st rendered
+
+let interpret mem ~fmt ~arg_cursor =
+  let st = { buf = Buffer.create 256; count = 0; cursor = arg_cursor; writes = [] } in
+  let n = String.length fmt in
+  let rec scan i =
+    if i >= n then ()
+    else if fmt.[i] = '%' && i + 1 < n then begin
+      (* Parse an optional decimal width. *)
+      let rec width j acc =
+        if j < n && fmt.[j] >= '0' && fmt.[j] <= '9' then
+          width (j + 1) ((acc * 10) + Char.code fmt.[j] - Char.code '0')
+        else (j, acc)
+      in
+      let j, w = width (i + 1) 0 in
+      if j >= n then emit st "%"
+      else if j + 1 < n && fmt.[j] = 'h' && fmt.[j + 1] = 'n' then begin
+        (* %hn: 16-bit write -- the primitive real exploits used in
+           pairs to compose a full 32-bit value without huge pads. *)
+        let addr = pop mem st in
+        let v = st.count land 0xffff in
+        Machine.Memory.write_u8 mem addr (v land 0xff);
+        Machine.Memory.write_u8 mem (addr + 1) ((v lsr 8) land 0xff);
+        st.writes <- (addr, v) :: st.writes;
+        scan (j + 2)
+      end
+      else begin
+        (match fmt.[j] with
+         | '%' -> emit st "%"
+         | 'd' -> pad_then st ~width:w (string_of_int (pop mem st))
+         | 'u' ->
+             let v = pop mem st in
+             let v = if v < 0 then v + 0x1_0000_0000 else v in
+             pad_then st ~width:w (string_of_int v)
+         | 'x' -> pad_then st ~width:w (Printf.sprintf "%x" (pop mem st land 0xffff_ffff))
+         | 'X' -> pad_then st ~width:w (Printf.sprintf "%X" (pop mem st land 0xffff_ffff))
+         | 'c' ->
+             let v = pop mem st in
+             pad_then st ~width:w (String.make 1 (Char.chr (v land 0xff)))
+         | 's' ->
+             let addr = pop mem st in
+             pad_then st ~width:w (Machine.Memory.read_cstring mem addr)
+         | 'n' ->
+             let addr = pop mem st in
+             Machine.Memory.write_i32 mem addr st.count;
+             st.writes <- (addr, st.count) :: st.writes
+         | c ->
+             (* Unknown conversion: print it literally, as old libcs did. *)
+             emit st (Printf.sprintf "%%%c" c));
+        scan (j + 1)
+      end
+    end
+    else begin
+      emit st (String.make 1 fmt.[i]);
+      scan (i + 1)
+    end
+  in
+  scan 0;
+  { output = Buffer.contents st.buf; chars_written = st.count; writes = List.rev st.writes }

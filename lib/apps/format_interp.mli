@@ -1,0 +1,25 @@
+(** A printf-family interpreter over simulated memory — the engine of
+    format-string vulnerabilities (#1480 rpc.statd).
+
+    C's varargs have no count: each conversion directive pops the
+    next 4-byte word from wherever the argument cursor points.  When
+    attacker data is used {e as} the format string, [%x] walks the
+    cursor down the stack (through the attacker's own bytes) and
+    [%n] writes the number of characters output so far to the address
+    the cursor yields — an arbitrary 4-byte write. *)
+
+type result = {
+  output : string;            (** rendered text, truncated to 4 KiB *)
+  chars_written : int;        (** the true count [%n] would store *)
+  writes : (Machine.Addr.t * int) list;
+      (** every ([%n]) write performed: (address, value) *)
+}
+
+val interpret :
+  Machine.Memory.t -> fmt:string -> arg_cursor:Machine.Addr.t -> result
+(** Supported directives: [%d %u %x %X %c %s %n %hn %%], with
+    optional decimal width (pad with spaces).  [%s] reads the
+    NUL-terminated string at the popped address; [%n] stores
+    [chars_written] at the popped address and [%hn] its low 16 bits —
+    the pairwise primitive real exploits composed full addresses from
+    (the writes go through {!Machine.Memory} and can fault). *)

@@ -1,0 +1,123 @@
+type activity = Get_input_string | Use_as_format | Write_formatted_output
+
+let activities = [ Get_input_string; Use_as_format; Write_formatted_output ]
+
+let activity_description = function
+  | Get_input_string -> "get input string"
+  | Use_as_format -> "use the string as a format argument"
+  | Write_formatted_output -> "write formatted output to a buffer"
+
+let category_assigned = function
+  | Get_input_string -> Vulndb.Category.Input_validation_error
+  | Use_as_format -> Vulndb.Category.Access_validation_error
+  | Write_formatted_output -> Vulndb.Category.Boundary_condition_error
+
+let bugtraq_example = function
+  | Get_input_string -> 1387
+  | Use_as_format -> 2210
+  | Write_formatted_output -> 2264
+
+let pfsm_name = function
+  | Get_input_string -> "pFSM-get"
+  | Use_as_format -> "pFSM-fmt"
+  | Write_formatted_output -> "pFSM-out"
+
+(* The formatted output's length: directives expand (conservatively,
+   %x may render up to 8 characters for 2 bytes of directive). *)
+let expanded_length s =
+  String.length s + (8 * List.length (Pfsm.Strcodec.format_directives s))
+
+let model () =
+  let get =
+    Pfsm.Checks.pfsm ~name:(pfsm_name Get_input_string) ~check:"format_free"
+      ~activity:(activity_description Get_input_string)
+      Pfsm.Checks.format_free
+  in
+  let fmt =
+    Pfsm.Checks.pfsm ~name:(pfsm_name Use_as_format) ~check:"format_free"
+      ~activity:(activity_description Use_as_format)
+      (* The spec at the use site: the string handed to *printf as the
+         format must carry no directives (a constant format). *)
+      Pfsm.Checks.format_free
+  in
+  let out =
+    Pfsm.Checks.pfsm ~name:(pfsm_name Write_formatted_output)
+      ~check:"length_fits_buffer"
+      ~activity:(activity_description Write_formatted_output)
+      (Pfsm.Checks.length_fits_buffer ~size_key:"output.buffer.size")
+  in
+  let record env obj =
+    (Pfsm.Env.add_str "input" (Pfsm.Value.as_str obj) env, obj)
+  in
+  let expand env obj =
+    let s = Pfsm.Value.as_str obj in
+    let rendered = Pfsm.Value.Str (String.make (min 4096 (expanded_length s)) 'o') in
+    (env, rendered)
+  in
+  let out_effect env =
+    let s = Pfsm.Env.get_str "input" env in
+    let overran =
+      expanded_length s > Pfsm.Env.get_int "output.buffer.size" env
+    in
+    let wrote_n = List.mem "%n" (Pfsm.Strcodec.format_directives s) in
+    Pfsm.Env.add_bool "return.unchanged" (not (overran || wrote_n)) env
+  in
+  let op1 =
+    Pfsm.Operation.make ~name:"Format the client string"
+      ~object_name:"the client string"
+      ~effect_label:"%n and expansion may corrupt memory around the output buffer"
+      ~effect_:out_effect
+      [ Pfsm.Operation.stage ~action:record get;
+        Pfsm.Operation.stage ~action:expand
+          ~action_label:"render directives against the varargs cursor" fmt;
+        Pfsm.Operation.stage ~action_label:"store the rendered output" out ]
+  in
+  let ret =
+    Pfsm.Checks.pfsm ~name:"pFSM-ret" ~check:"reference_unchanged"
+      ~activity:"return from the logging function"
+      (Pfsm.Checks.reference_unchanged ~flag:"return.unchanged")
+  in
+  let ret_effect env =
+    Pfsm.Env.add_bool "attacker_code_executed"
+      (not (Pfsm.Env.flag "return.unchanged" env))
+      env
+  in
+  let op2 =
+    Pfsm.Operation.make ~name:"Return from the logging function"
+      ~object_name:"the saved return address"
+      ~effect_label:"control transfers to the attacker-written address"
+      ~effect_:ret_effect
+      [ Pfsm.Operation.stage ~action_label:"ret" ret ]
+  in
+  Pfsm.Model.make
+    ~name:"Generic format string exploitation pattern (Section 3.2)"
+    ~description:
+      "One mechanism, three elementary activities: the format-string ambiguity \
+       family (#1387 / #2210 / #2264) as a single chain."
+    [ Pfsm.Model.bind
+        ~input:(fun env -> Pfsm.Env.get "input.str" env)
+        ~input_label:"the client string" op1;
+      Pfsm.Model.bind ~input:(fun _ -> Pfsm.Value.Unit)
+        ~input_label:"the saved return address" op2 ]
+
+let scenario s =
+  Pfsm.Env.empty
+  |> Pfsm.Env.add_str "input.str" s
+  |> Pfsm.Env.add_int "output.buffer.size" 128
+
+let exploit_scenario = scenario ("USER " ^ Machine.Payload.repeat "%8x" 20 ^ "%n")
+
+let benign_scenario = scenario "USER anonymous"
+
+let ambiguity_rows () =
+  let trace = Pfsm.Model.run (model ()) ~env:exploit_scenario in
+  let hidden_at name =
+    List.exists
+      (fun s ->
+         s.Pfsm.Trace.pfsm.Pfsm.Primitive.name = name
+         && s.Pfsm.Trace.verdict.Pfsm.Primitive.hidden)
+      trace.Pfsm.Trace.steps
+  in
+  List.map
+    (fun a -> (a, bugtraq_example a, category_assigned a, hidden_at (pfsm_name a)))
+    activities

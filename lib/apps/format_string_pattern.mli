@@ -1,0 +1,27 @@
+(** The generic format-string exploitation pattern of Section 3.2.
+
+    The paper's third Observation-1 family: format string flaws were
+    filed as input validation error at "get input string" (#1387,
+    wu-ftpd), access validation error at "use the string as a format
+    argument" (#2210, splitvt), and boundary condition error at
+    "write formatted output to a buffer" (#2264, icecast
+    print_client). *)
+
+type activity = Get_input_string | Use_as_format | Write_formatted_output
+
+val activities : activity list
+
+val activity_description : activity -> string
+
+val category_assigned : activity -> Vulndb.Category.t
+
+val bugtraq_example : activity -> int
+
+val model : unit -> Pfsm.Model.t
+(** Scenario key: ["input.str"]. *)
+
+val exploit_scenario : Pfsm.Env.t
+
+val benign_scenario : Pfsm.Env.t
+
+val ambiguity_rows : unit -> (activity * int * Vulndb.Category.t * bool) list

@@ -1,0 +1,146 @@
+module P = Pfsm.Predicate
+
+type config = {
+  length_check : bool;
+  protection : Machine.Stack.protection;
+}
+
+let vulnerable = { length_check = false; protection = Machine.Stack.No_protection }
+
+let buffer_size = 200
+
+type t = {
+  proc : Machine.Process.t;
+  config : config;
+}
+
+let setup ?(config = vulnerable) ?aslr_seed () =
+  let proc = Machine.Process.create ~stack_protection:config.protection ?aslr_seed () in
+  Machine.Process.register_function proc "main";
+  Machine.Process.register_function proc "serveconnection";
+  { proc; config }
+
+let proc t = t.proc
+
+(* The frames Log() runs under: serveconnection gives headroom above
+   Log's return slot, so overlong copies corrupt the caller frame
+   instead of faulting at the stack top. *)
+let push_frames t =
+  let stack = Machine.Process.stack t.proc in
+  Machine.Stack.push_frame stack ~func:"serveconnection"
+    ~ret_addr:(Machine.Process.code_addr t.proc "main")
+    ~locals:[ ("conn", 64) ];
+  Machine.Stack.push_frame stack ~func:"Log"
+    ~ret_addr:(Machine.Process.code_addr t.proc "serveconnection")
+    ~locals:[ ("buf", buffer_size) ]
+
+let pop_all t =
+  let stack = Machine.Process.stack t.proc in
+  let status = Machine.Stack.pop_frame stack in
+  ignore (Machine.Stack.pop_frame stack);
+  status
+
+let expected_buf_addr t =
+  let stack = Machine.Process.stack t.proc in
+  push_frames t;
+  let addr = Machine.Stack.local_addr stack "buf" in
+  ignore (pop_all t);
+  addr
+
+let distance_to_ret t =
+  let stack = Machine.Process.stack t.proc in
+  push_frames t;
+  let d = Machine.Stack.distance_to_ret stack "buf" in
+  ignore (pop_all t);
+  d
+
+let serve t ~request =
+  if t.config.length_check && String.length request > buffer_size then
+    Outcome.Refused "request longer than 200 bytes"
+  else begin
+    push_frames t;
+    let stack = Machine.Process.stack t.proc in
+    let buf = Machine.Stack.local_addr stack "buf" in
+    Machine.Process.mark_shellcode t.proc ~addr:buf ~len:(String.length request)
+      ~label:"MCODE";
+    match Machine.Cstring.strcpy (Machine.Process.mem t.proc) ~dst:buf request with
+    | exception Machine.Memory.Fault { addr; _ } ->
+        ignore (pop_all t);
+        Outcome.Crash (Printf.sprintf "segfault writing stack at 0x%08x" addr)
+    | () when
+        t.config.protection = Machine.Stack.Split_stack
+        && not (Machine.Stack.ret_addr_intact stack) ->
+        ignore (pop_all t);
+        Outcome.Protection_triggered "split stack ignored the corrupted return address"
+    | () -> (
+        match pop_all t with
+        | Machine.Stack.Smashed_canary _ ->
+            Outcome.Protection_triggered "StackGuard canary smashed"
+        | Machine.Stack.Returned addr -> (
+            match Machine.Process.classify_jump t.proc addr with
+            | Machine.Process.Legit name ->
+                Outcome.Benign (Printf.sprintf "Log returned to %s" name)
+            | Machine.Process.Shellcode label -> Outcome.Code_execution label
+            | Machine.Process.Wild a ->
+                Outcome.Crash (Printf.sprintf "Log returned to 0x%08x" a)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The Table-2 FSM model.                                              *)
+
+let scenario ~request = Pfsm.Env.add_str "request.data" request Pfsm.Env.empty
+
+let benign_scenario = scenario ~request:"GET /index.html"
+
+let model t =
+  let size_spec =
+    P.Cmp (P.Le, P.Length P.Self, P.Lit (Pfsm.Value.Int buffer_size))
+  in
+  let pfsm1 =
+    Pfsm.Primitive.make ~name:"pFSM1" ~kind:Pfsm.Taxonomy.Content_attribute_check
+      ~activity:"copy the request into the 200-byte log buffer"
+      ~spec:size_spec
+      ~impl:(if t.config.length_check then size_spec else P.True)
+  in
+  let dist = distance_to_ret t in
+  let copy_effect env =
+    let len = String.length (Pfsm.Env.get_str "request.data" env) in
+    Pfsm.Env.add_bool "return.unchanged" (len < dist) env
+  in
+  let op1 =
+    Pfsm.Operation.make ~name:"Log the request"
+      ~object_name:"the request string"
+      ~effect_label:"the saved return address may now point into the buffer"
+      ~effect_:copy_effect
+      [ Pfsm.Operation.stage ~action_label:"vsprintf into buf" pfsm1 ]
+  in
+  let ret_spec = P.Env_flag "return.unchanged" in
+  let pfsm2 =
+    Pfsm.Primitive.make ~name:"pFSM2" ~kind:Pfsm.Taxonomy.Reference_consistency_check
+      ~activity:"return from Log() to the parent function"
+      ~spec:ret_spec
+      ~impl:
+        (if t.config.protection = Machine.Stack.No_protection then P.True else ret_spec)
+  in
+  let ret_effect env =
+    Pfsm.Env.add_bool "mcode_executed"
+      (not (Pfsm.Env.flag "return.unchanged" env))
+      env
+  in
+  let op2 =
+    Pfsm.Operation.make ~name:"Return from Log"
+      ~object_name:"the saved return address"
+      ~effect_label:"execute the code the return address refers to"
+      ~effect_:ret_effect
+      [ Pfsm.Operation.stage ~action_label:"ret" pfsm2 ]
+  in
+  Pfsm.Model.make ~name:"GHTTPD Log() Function Buffer Overflow" ~bugtraq_id:5960
+    ~description:
+      "An unbounded copy of the request line into a 200-byte stack buffer overwrites \
+       the saved return address of Log()."
+    [ Pfsm.Model.bind
+        ~input:(fun env -> Pfsm.Env.get "request.data" env)
+        ~input_label:"the request line" op1;
+      Pfsm.Model.bind
+        ~input:(fun _ -> Pfsm.Value.Unit)
+        ~input_label:"the saved return address" op2 ]

@@ -1,0 +1,42 @@
+(** GHTTPD Log() stack buffer overflow — Bugtraq #5960, analysed in
+    the paper's companion report [21] and classified in Table 2.
+
+    [Log()] copies the request line into a 200-byte stack buffer
+    with no bound; an oversized request overwrites the saved return
+    address, and the function "returns" into the attacker's bytes
+    sitting in that very buffer. *)
+
+type config = {
+  length_check : bool;                 (** pFSM1's fix: size <= 200 *)
+  protection : Machine.Stack.protection; (** StackGuard / split-stack *)
+}
+
+val vulnerable : config
+
+type t
+
+val setup : ?config:config -> ?aslr_seed:int -> unit -> t
+
+val proc : t -> Machine.Process.t
+
+val buffer_size : int
+(** 200 bytes. *)
+
+val expected_buf_addr : t -> Machine.Addr.t
+(** Where [Log]'s buffer will sit (deterministic stack layout) —
+    what the exploit points the return address at. *)
+
+val distance_to_ret : t -> int
+(** Bytes from the buffer to the saved return address. *)
+
+val serve : t -> request:string -> Outcome.t
+(** Handle one request: push the [Log] frame, [strcpy] the request
+    into the buffer, return. *)
+
+val model : t -> Pfsm.Model.t
+(** Per [21]/Table 2: pFSM1 size check, pFSM2 return-address
+    consistency.  Scenario key: ["request.data"]. *)
+
+val scenario : request:string -> Pfsm.Env.t
+
+val benign_scenario : Pfsm.Env.t

@@ -1,0 +1,92 @@
+module Fs = Osmodel.Filesystem
+module P = Pfsm.Predicate
+
+type config = { single_decode : bool }
+
+let vulnerable = { single_decode = false }
+
+let scripts_root = "/wwwroot/scripts"
+
+let attack_path = "..%252f..%252fwinnt%252fsystem32%252fcmd.exe"
+
+let benign_path = "hello.exe"
+
+type t = {
+  fs : Fs.t;
+  config : config;
+}
+
+let setup ?(config = vulnerable) () =
+  let fs = Fs.create () in
+  let mode = Osmodel.Perm.of_octal 0o755 in
+  Fs.mkfile fs (scripts_root ^ "/hello.exe") ~owner:Osmodel.User.Root ~mode "CGI";
+  Fs.mkfile fs "/winnt/system32/cmd.exe" ~owner:Osmodel.User.Root ~mode "SHELL";
+  { fs; config }
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn > 0 && at 0
+
+let handle_request t path =
+  let once = Pfsm.Strcodec.percent_decode path in
+  if contains ~needle:"../" once then
+    Outcome.Refused "request path contains \"../\""
+  else
+    let effective =
+      if t.config.single_decode then once else Pfsm.Strcodec.percent_decode once
+    in
+    let target = Fs.resolve t.fs (scripts_root ^ "/" ^ effective) in
+    let inside =
+      String.length target >= String.length scripts_root
+      && String.sub target 0 (String.length scripts_root) = scripts_root
+    in
+    match Fs.content t.fs target with
+    | exception Fs.Fs_error _ -> Outcome.Benign (Printf.sprintf "404 Not Found: %s" target)
+    | _ when inside -> Outcome.Benign (Printf.sprintf "executed CGI %s" target)
+    | _ ->
+        Outcome.Code_execution
+          (Printf.sprintf "arbitrary program %s (outside %s)" target scripts_root)
+
+(* ------------------------------------------------------------------ *)
+(* The Figure-7 FSM model.                                             *)
+
+let scenario ~path = Pfsm.Env.add_str "request.path" path Pfsm.Env.empty
+
+let model t =
+  let decodes = if t.config.single_decode then 1 else 2 in
+  (* The file resides under /wwwroot/scripts iff the path, after all
+     the decoding the implementation performs, is free of "../". *)
+  let spec = P.Not (P.Contains (P.Decode (decodes, P.Self), "../")) in
+  let impl = P.Not (P.Contains (P.Decode (1, P.Self), "../")) in
+  let pfsm1 =
+    Pfsm.Primitive.make ~name:"pFSM1" ~kind:Pfsm.Taxonomy.Content_attribute_check
+      ~activity:"get the filename of a CGI program; check it stays in /wwwroot/scripts"
+      ~spec ~impl
+  in
+  let exec_effect env =
+    let path = Pfsm.Env.get_str "request.path" env in
+    let escaped =
+      contains ~needle:"../" (Pfsm.Strcodec.percent_decode_n decodes path)
+    in
+    Pfsm.Env.add_bool "arbitrary_program_executed" escaped env
+  in
+  let op =
+    Pfsm.Operation.make ~name:"Decode and execute the requested CGI filename"
+      ~object_name:"the CGI filename"
+      ~effect_label:
+        "Execute arbitrary program, even outside /wwwroot/scripts/, because \"../\" \
+         appears after the second decoding"
+      ~effect_:exec_effect
+      [ Pfsm.Operation.stage
+          ~action_label:"decode filename a second time; execute the target CGI program"
+          pfsm1 ]
+  in
+  Pfsm.Model.make ~name:"IIS Decodes Filenames Superfluously after Applying Security Checks"
+    ~bugtraq_id:2708
+    ~description:
+      "IIS checks for \"../\" after the first URL decoding but decodes a second time \
+       before use; \"..%252f\" passes the check and becomes \"../\"."
+    [ Pfsm.Model.bind
+        ~input:(fun env -> Pfsm.Env.get "request.path" env)
+        ~input_label:"the requested CGI path" op ]

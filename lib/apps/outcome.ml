@@ -1,0 +1,40 @@
+type t =
+  | Benign of string
+  | Refused of string
+  | Protection_triggered of string
+  | Code_execution of string
+  | Arbitrary_write of { addr : int; value : int }
+  | Memory_corruption of string
+  | File_overwritten of { path : string; data : string }
+  | Info_leak of string
+  | Crash of string
+
+type verdict = Compromised | Blocked | Normal
+
+let verdict = function
+  | Benign _ -> Normal
+  | Refused _ | Protection_triggered _ -> Blocked
+  | Code_execution _ | Arbitrary_write _ | Memory_corruption _ | File_overwritten _
+  | Info_leak _ | Crash _ -> Compromised
+
+let is_compromised t = verdict t = Compromised
+
+let verdict_to_string = function
+  | Compromised -> "COMPROMISED"
+  | Blocked -> "blocked"
+  | Normal -> "normal"
+
+let pp ppf = function
+  | Benign msg -> Format.fprintf ppf "benign: %s" msg
+  | Refused msg -> Format.fprintf ppf "refused: %s" msg
+  | Protection_triggered msg -> Format.fprintf ppf "protection triggered: %s" msg
+  | Code_execution label -> Format.fprintf ppf "CODE EXECUTION: %s" label
+  | Arbitrary_write { addr; value } ->
+      Format.fprintf ppf "ARBITRARY WRITE: mem[0x%08x] <- 0x%08x" addr value
+  | Memory_corruption msg -> Format.fprintf ppf "MEMORY CORRUPTION: %s" msg
+  | File_overwritten { path; data } ->
+      Format.fprintf ppf "FILE OVERWRITTEN: %s <- %S" path data
+  | Info_leak leaked -> Format.fprintf ppf "INFO LEAK: %s" leaked
+  | Crash msg -> Format.fprintf ppf "CRASH: %s" msg
+
+let to_string t = Format.asprintf "%a" pp t

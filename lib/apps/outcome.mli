@@ -1,0 +1,29 @@
+(** What a simulated run of a vulnerable application did.
+
+    Outcomes fold into three verdicts used by the model-vs-simulation
+    consistency check: {e compromised} (the exploit succeeded or
+    memory/files were corrupted), {e blocked} (a check or protection
+    stopped it), and {e normal} (benign completion). *)
+
+type t =
+  | Benign of string
+  | Refused of string                       (** an input check rejected it *)
+  | Protection_triggered of string          (** canary, safe unlink, GOT audit... *)
+  | Code_execution of string                (** attacker code ran (label) *)
+  | Arbitrary_write of { addr : int; value : int }
+  | Memory_corruption of string
+  | File_overwritten of { path : string; data : string }
+  | Info_leak of string
+  | Crash of string
+
+type verdict = Compromised | Blocked | Normal
+
+val verdict : t -> verdict
+
+val is_compromised : t -> bool
+
+val verdict_to_string : verdict -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

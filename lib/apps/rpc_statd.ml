@@ -1,0 +1,155 @@
+module P = Pfsm.Predicate
+
+type config = {
+  format_check : bool;
+  protection : Machine.Stack.protection;
+}
+
+let vulnerable = { format_check = false; protection = Machine.Stack.No_protection }
+
+type t = {
+  proc : Machine.Process.t;
+  config : config;
+}
+
+let fmtbuf_size = 1024
+
+let setup ?(config = vulnerable) ?aslr_seed () =
+  let proc = Machine.Process.create ~stack_protection:config.protection ?aslr_seed () in
+  Machine.Process.register_function proc "statd_main";
+  Machine.Process.register_function proc "svc_run";
+  { proc; config }
+
+let proc t = t.proc
+
+let push_frames t =
+  let stack = Machine.Process.stack t.proc in
+  Machine.Stack.push_frame stack ~func:"statd_main"
+    ~ret_addr:(Machine.Process.code_addr t.proc "svc_run")
+    ~locals:[ ("request", 128) ];
+  Machine.Stack.push_frame stack ~func:"syslog"
+    ~ret_addr:(Machine.Process.code_addr t.proc "statd_main")
+    ~locals:[ ("fmtbuf", fmtbuf_size) ]
+
+let pop_all t =
+  let stack = Machine.Process.stack t.proc in
+  let status = Machine.Stack.pop_frame stack in
+  ignore (Machine.Stack.pop_frame stack);
+  status
+
+let expected_layout t =
+  let stack = Machine.Process.stack t.proc in
+  push_frames t;
+  let fmtbuf = Machine.Stack.local_addr stack "fmtbuf" in
+  let ret_slot = Machine.Stack.ret_slot stack in
+  ignore (pop_all t);
+  (fmtbuf, ret_slot)
+
+let expected_fmtbuf_addr t = fst (expected_layout t)
+
+let expected_ret_slot t = snd (expected_layout t)
+
+(* syslog(LOG_ERR, buf): the buffer IS the format string and the
+   varargs cursor points right back into the stack at the buffer. *)
+let run_syslog t ~filename =
+  push_frames t;
+  let mem = Machine.Process.mem t.proc in
+  let stack = Machine.Process.stack t.proc in
+  let fmtbuf = Machine.Stack.local_addr stack "fmtbuf" in
+  Machine.Cstring.strncpy mem ~dst:fmtbuf filename ~n:(fmtbuf_size - 1);
+  Machine.Memory.write_u8 mem (fmtbuf + min (String.length filename) (fmtbuf_size - 1)) 0;
+  Machine.Process.mark_shellcode t.proc ~addr:fmtbuf
+    ~len:(min (String.length filename) fmtbuf_size) ~label:"MCODE";
+  let fmt = Machine.Memory.read_cstring mem fmtbuf in
+  match Format_interp.interpret mem ~fmt ~arg_cursor:fmtbuf with
+  | exception Machine.Memory.Fault { addr; _ } ->
+      ignore (pop_all t);
+      Outcome.Crash (Printf.sprintf "segfault during %%n write at 0x%08x" addr)
+  | _ when
+      t.config.protection = Machine.Stack.Split_stack
+      && not (Machine.Stack.ret_addr_intact stack) ->
+      ignore (pop_all t);
+      Outcome.Protection_triggered "split stack ignored the corrupted return address"
+  | result -> (
+      match pop_all t with
+      | Machine.Stack.Smashed_canary _ ->
+          Outcome.Protection_triggered "StackGuard canary smashed"
+      | Machine.Stack.Returned addr -> (
+          match Machine.Process.classify_jump t.proc addr with
+          | Machine.Process.Shellcode label -> Outcome.Code_execution label
+          | Machine.Process.Wild a ->
+              Outcome.Crash (Printf.sprintf "syslog returned to 0x%08x" a)
+          | Machine.Process.Legit name ->
+              if result.Format_interp.writes <> [] then
+                let addr, value = List.hd result.Format_interp.writes in
+                Outcome.Arbitrary_write { addr; value }
+              else if Pfsm.Strcodec.contains_format_directive fmt then
+                Outcome.Info_leak
+                  (Printf.sprintf "stack words leaked through the log: %s"
+                     result.Format_interp.output)
+              else Outcome.Benign (Printf.sprintf "logged; returned to %s" name)))
+
+let notify t ~filename =
+  if t.config.format_check && Pfsm.Strcodec.contains_format_directive filename then
+    Outcome.Refused "filename contains printf directives"
+  else run_syslog t ~filename
+
+(* ------------------------------------------------------------------ *)
+(* The Table-2 FSM model.                                              *)
+
+let scenario ~filename = Pfsm.Env.add_str "request.filename" filename Pfsm.Env.empty
+
+let benign_scenario = scenario ~filename:"/var/statmon/sm/client07"
+
+let model t =
+  let format_spec = P.Is_format_free P.Self in
+  let pfsm1 =
+    Pfsm.Primitive.make ~name:"pFSM1" ~kind:Pfsm.Taxonomy.Content_attribute_check
+      ~activity:"pass the client filename to syslog as the format string"
+      ~spec:format_spec
+      ~impl:(if t.config.format_check then format_spec else P.True)
+  in
+  let log_effect env =
+    let filename = Pfsm.Env.get_str "request.filename" env in
+    let has_percent_n =
+      List.mem "%n" (Pfsm.Strcodec.format_directives filename)
+    in
+    Pfsm.Env.add_bool "return.unchanged" (not has_percent_n) env
+  in
+  let op1 =
+    Pfsm.Operation.make ~name:"Log the notification filename"
+      ~object_name:"the client-supplied filename"
+      ~effect_label:"%n may have rewritten the saved return address"
+      ~effect_:log_effect
+      [ Pfsm.Operation.stage ~action_label:"syslog(LOG_ERR, filename)" pfsm1 ]
+  in
+  let ret_spec = P.Env_flag "return.unchanged" in
+  let pfsm2 =
+    Pfsm.Primitive.make ~name:"pFSM2" ~kind:Pfsm.Taxonomy.Reference_consistency_check
+      ~activity:"return from syslog to the parent function"
+      ~spec:ret_spec
+      ~impl:
+        (if t.config.protection = Machine.Stack.Split_stack then ret_spec else P.True)
+  in
+  let ret_effect env =
+    Pfsm.Env.add_bool "mcode_executed"
+      (not (Pfsm.Env.flag "return.unchanged" env))
+      env
+  in
+  let op2 =
+    Pfsm.Operation.make ~name:"Return from syslog"
+      ~object_name:"the saved return address"
+      ~effect_label:"execute the code the return address refers to"
+      ~effect_:ret_effect
+      [ Pfsm.Operation.stage ~action_label:"ret" pfsm2 ]
+  in
+  Pfsm.Model.make ~name:"rpc.statd Remote Format String Vulnerability" ~bugtraq_id:1480
+    ~description:
+      "statd passes a client-controlled filename to syslog as the format string; %n \
+       turns the call into an arbitrary write onto the saved return address."
+    [ Pfsm.Model.bind
+        ~input:(fun env -> Pfsm.Env.get "request.filename" env)
+        ~input_label:"the SM_NOTIFY filename" op1;
+      Pfsm.Model.bind
+        ~input:(fun _ -> Pfsm.Value.Unit)
+        ~input_label:"the saved return address" op2 ]

@@ -1,0 +1,43 @@
+(** rpc.statd remote format string vulnerability — Bugtraq #1480,
+    analysed in the paper's companion report [21], Table 2.
+
+    statd passes a client-supplied filename to [syslog] {e as the
+    format string}.  [%n] directives turn the logging call into an
+    arbitrary 4-byte write — typically onto the saved return
+    address, redirecting execution into the attacker's bytes that
+    sit in the very same buffer.
+
+    Note the StackGuard canary does {e not} stop this exploit: the
+    [%n] write lands surgically on the return slot without touching
+    the canary.  Only the input check (pFSM1) or a split-stack /
+    return-address consistency check (pFSM2) foils it — exactly the
+    paper's point about reference-consistency protections. *)
+
+type config = {
+  format_check : bool;                   (** pFSM1's fix: reject %-directives *)
+  protection : Machine.Stack.protection;
+}
+
+val vulnerable : config
+
+type t
+
+val setup : ?config:config -> ?aslr_seed:int -> unit -> t
+
+val proc : t -> Machine.Process.t
+
+val expected_fmtbuf_addr : t -> Machine.Addr.t
+
+val expected_ret_slot : t -> Machine.Addr.t
+
+val notify : t -> filename:string -> Outcome.t
+(** The SM_NOTIFY handler: copy the filename into a stack buffer and
+    [syslog] it (i.e. run the format interpreter with the varargs
+    cursor pointing into that buffer). *)
+
+val model : t -> Pfsm.Model.t
+(** Scenario key: ["request.filename"]. *)
+
+val scenario : filename:string -> Pfsm.Env.t
+
+val benign_scenario : Pfsm.Env.t

@@ -1,0 +1,44 @@
+(** Solaris rwall arbitrary file corruption — Figure 6 (CERT
+    CA-1994-06).
+
+    [/etc/utmp] lists logged-in users' terminals; rwalld (root)
+    writes the broadcast message to [/dev/<entry>] for each entry.
+    Two flaws compose: [/etc/utmp] is world-writable (a configuration
+    flaw standing in for the missing root-privilege check of pFSM1),
+    and rwalld never checks that the entry names a terminal (pFSM2) —
+    so an entry ["../etc/passwd"] makes root write the attacker's
+    "message" into the password file. *)
+
+type config = {
+  utmp_world_writable : bool;  (** the shipped misconfiguration *)
+  terminal_check : bool;       (** pFSM2's fix: only write to terminals *)
+}
+
+val vulnerable : config
+
+type t
+
+val setup : ?config:config -> unit -> t
+
+val fs : t -> Osmodel.Filesystem.t
+
+val utmp_path : string
+
+val attacker : Osmodel.User.t
+
+val add_utmp_entry : t -> as_user:Osmodel.User.t -> string -> Outcome.t
+(** Operation 1: append an entry to /etc/utmp. *)
+
+val broadcast : t -> message:string -> Outcome.t list
+(** Operation 2: rwalld writes [message] to every utmp entry; one
+    outcome per entry. *)
+
+val run_attack : t -> message:string -> Outcome.t
+(** Add ["../etc/passwd"], broadcast, and report the worst outcome. *)
+
+val model : t -> Pfsm.Model.t
+(** Figure 6.  Scenario keys: ["user.is_root"], ["target.kind"]. *)
+
+val attack_scenario : Pfsm.Env.t
+
+val benign_scenario : Pfsm.Env.t

@@ -1,0 +1,63 @@
+(** Sendmail Debugging Function Signed Integer Overflow (Bugtraq
+    #3163) — the running example of Sections 3-4 and Figure 3.
+
+    [tTflag] parses the user's [-d x.i] debug option into integers
+    [x] and [i] and writes [tTvect[x] = i].  The implementation
+    checks only [x <= 100]; a huge decimal [str_x] wraps to a
+    negative 32-bit [x], the write lands below [tTvect] — on the GOT
+    entry of [setuid] — and the next [setuid()] call jumps to the
+    attacker's code. *)
+
+type config = {
+  input_check : bool;   (** activity 1 fix: reject [str_x] not representable *)
+  full_index_check : bool;  (** activity 2 fix: [0 <= x <= 100], not just [x <= 100] *)
+  got_audit : bool;     (** activity 3 fix: verify the GOT entry before the call *)
+}
+
+val vulnerable : config
+(** All three checks off — Sendmail as shipped. *)
+
+type t
+
+val setup : ?config:config -> ?aslr_seed:int -> unit -> t
+
+val proc : t -> Machine.Process.t
+
+val config : t -> config
+
+val tTvect_addr : t -> Machine.Addr.t
+
+val setuid_slot : t -> Machine.Addr.t
+(** Address of the GOT slot of [setuid] — the exploit's target. *)
+
+val exploit_index : t -> int
+(** The (negative) [x] for which [tTvect + 4x] is exactly the
+    [setuid] GOT slot. *)
+
+val exploit_str_x : t -> string
+(** A positive decimal whose 32-bit wrap equals {!exploit_index} —
+    what the attacker actually types. *)
+
+val mcode_addr : t -> Machine.Addr.t
+(** Where the staged attacker code lives. *)
+
+val tTflag : t -> str_x:string -> str_i:string -> Outcome.t
+(** Operation 1: write debug level [i] to [tTvect\[x\]]. *)
+
+val call_setuid : t -> Outcome.t
+(** Operation 2: call [setuid] through the GOT. *)
+
+val run_attack : t -> str_x:string -> str_i:string -> Outcome.t
+(** The full exploit chain: [tTflag] then [call_setuid]; the first
+    non-[Benign] step's outcome wins. *)
+
+val model : t -> Pfsm.Model.t
+(** Figure 3 as an executable model, with this instance's concrete
+    addresses baked into the propagation-gate effects.  Scenario keys:
+    ["input.str_x"], ["input.str_i"]. *)
+
+val scenario : str_x:string -> str_i:string -> Pfsm.Env.t
+
+val exploit_scenario : t -> Pfsm.Env.t
+
+val benign_scenario : Pfsm.Env.t

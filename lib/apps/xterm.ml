@@ -1,0 +1,110 @@
+module Fs = Osmodel.Filesystem
+module Sched = Osmodel.Scheduler
+module P = Pfsm.Predicate
+
+type config = { open_nofollow : bool }
+
+let log_file = "/usr/tom/x"
+
+let target_file = "/etc/passwd"
+
+let tom = Osmodel.User.Regular "tom"
+
+let log_data = "tom-chosen log line\n"
+
+type state = {
+  fs : Fs.t;
+  mutable check_ok : bool;
+  mutable fd : Fs.fd option;
+  mutable passwd_before : string;
+}
+
+let fresh_state () =
+  let fs = Fs.create () in
+  Fs.mkfile fs target_file ~owner:Osmodel.User.Root ~mode:(Osmodel.Perm.of_octal 0o644)
+    "root:x:0:0::/root:/bin/sh\n";
+  Fs.mkfile fs log_file ~owner:tom ~mode:(Osmodel.Perm.of_octal 0o644) "";
+  { fs; check_ok = false; fd = None; passwd_before = Fs.content fs target_file }
+
+let logger_steps config =
+  [ Sched.step "xterm: access(log, W_OK) as tom" (fun st ->
+        st.check_ok <-
+          Fs.access_write st.fs log_file ~as_user:tom
+          && not (Fs.is_symlink st.fs log_file));
+    Sched.step "xterm: open(log) as root" (fun st ->
+        if st.check_ok then
+          if config.open_nofollow && Fs.is_symlink st.fs log_file then st.check_ok <- false
+          else st.fd <- Some (Fs.open_write st.fs log_file ~as_user:Osmodel.User.Root));
+    Sched.step "xterm: write log data" (fun st ->
+        match st.fd with
+        | Some fd -> Fs.append st.fs fd log_data
+        | None -> ()) ]
+
+let attacker_steps =
+  [ Sched.step "tom: unlink /usr/tom/x" (fun st -> Fs.unlink st.fs log_file ~as_user:tom);
+    Sched.step "tom: symlink /usr/tom/x -> /etc/passwd" (fun st ->
+        Fs.symlink st.fs ~link:log_file ~target:target_file) ]
+
+let passwd_corrupted st =
+  let now = Fs.content st.fs target_file in
+  if now <> st.passwd_before then
+    Some (Outcome.File_overwritten { path = target_file; data = log_data })
+  else None
+
+let run_race config =
+  Sched.explore ~init:fresh_state ~a:(logger_steps config) ~b:attacker_steps
+    ~check:passwd_corrupted
+
+let total_interleavings = Sched.interleaving_count 3 2
+
+(* ------------------------------------------------------------------ *)
+(* The Figure-5 FSM model.                                             *)
+
+let race_scenario =
+  Pfsm.Env.empty
+  |> Pfsm.Env.add_bool "tom.can_write" true
+  |> Pfsm.Env.add_bool "file.is_symlink" false
+  |> Pfsm.Env.add_bool "binding.unchanged" false
+
+let benign_scenario =
+  Pfsm.Env.empty
+  |> Pfsm.Env.add_bool "tom.can_write" true
+  |> Pfsm.Env.add_bool "file.is_symlink" false
+  |> Pfsm.Env.add_bool "binding.unchanged" true
+
+let model () =
+  let perm_spec =
+    P.And (P.Env_flag "tom.can_write", P.Not (P.Env_flag "file.is_symlink"))
+  in
+  let pfsm1 =
+    Pfsm.Primitive.make ~name:"pFSM1" ~kind:Pfsm.Taxonomy.Content_attribute_check
+      ~activity:"get the filename of Tom's log file; check Tom's write permission"
+      ~spec:perm_spec ~impl:perm_spec
+  in
+  let binding_spec = P.Env_flag "binding.unchanged" in
+  let pfsm2 =
+    Pfsm.Primitive.make ~name:"pFSM2" ~kind:Pfsm.Taxonomy.Reference_consistency_check
+      ~activity:"open /usr/tom/x with write permission"
+      ~spec:binding_spec ~impl:P.True
+  in
+  let open_effect env =
+    Pfsm.Env.add_bool "passwd_overwritten"
+      (not (Pfsm.Env.flag "binding.unchanged" env))
+      env
+  in
+  let op =
+    Pfsm.Operation.make ~name:"Writing the log file of user Tom"
+      ~object_name:"the log file /usr/tom/x"
+      ~effect_label:"Tom appends his own data to the file /etc/passwd"
+      ~effect_:open_effect
+      [ Pfsm.Operation.stage ~action_label:"passed permission check" pfsm1;
+        Pfsm.Operation.stage ~action_label:"open and write" pfsm2 ]
+  in
+  Pfsm.Model.make ~name:"xterm Log File Race Condition"
+    ~description:
+      "Between xterm's write-permission check on the user log file and the \
+       root-privileged open, the user can replace the file with a symlink to \
+       /etc/passwd (time-of-check-to-time-of-use)."
+    [ Pfsm.Model.bind
+        ~input:(fun _ -> Pfsm.Value.Str log_file)
+        ~input_label:"the log filename" op ]

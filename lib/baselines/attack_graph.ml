@@ -1,0 +1,161 @@
+type node =
+  | Start
+  | Site of { operation : string; pfsm : string }
+  | Compromised
+  | Foiled
+  | Benign
+
+type edge_kind = Normal_step | Hidden_step
+
+type edge = { src : node; dst : node; kind : edge_kind }
+
+type t = { nodes : node list; edges : edge list }
+
+let add_unique x xs = if List.mem x xs then xs else x :: xs
+
+let edges_of_trace trace =
+  let site (step : Pfsm.Trace.step) =
+    Site { operation = step.Pfsm.Trace.operation;
+           pfsm = step.Pfsm.Trace.pfsm.Pfsm.Primitive.name }
+  in
+  let final_terminal =
+    if Pfsm.Trace.exploited trace then Compromised
+    else if trace.Pfsm.Trace.completed then Benign
+    else Foiled
+  in
+  (* Fold over the steps carrying the node we came from and the kind
+     of the edge into the next node (= the exit verdict of the step
+     just taken; entering from Start is a normal edge). *)
+  let rec walk prev entry_kind steps acc =
+    match steps with
+    | [] -> List.rev acc
+    | step :: rest -> (
+        let here = site step in
+        let acc = { src = prev; dst = here; kind = entry_kind } :: acc in
+        let v = step.Pfsm.Trace.verdict in
+        match v.Pfsm.Primitive.final with
+        | Pfsm.Primitive.Reject_state | Pfsm.Primitive.Spec_check_state ->
+            List.rev ({ src = here; dst = Foiled; kind = Normal_step } :: acc)
+        | Pfsm.Primitive.Accept_state -> (
+            let kind =
+              if v.Pfsm.Primitive.hidden then Hidden_step else Normal_step
+            in
+            match rest with
+            | [] -> List.rev ({ src = here; dst = final_terminal; kind } :: acc)
+            | _ :: _ -> walk here kind rest acc))
+  in
+  walk Start Normal_step trace.Pfsm.Trace.steps []
+
+let of_report (report : Pfsm.Analysis.report) =
+  let all_edges =
+    List.concat_map (fun (_, trace) -> edges_of_trace trace) report.Pfsm.Analysis.traces
+  in
+  let edges = List.fold_left (fun acc e -> add_unique e acc) [] all_edges in
+  let nodes =
+    List.fold_left
+      (fun acc e -> add_unique e.src (add_unique e.dst acc))
+      [ Start ] edges
+  in
+  { nodes = List.rev nodes; edges = List.rev edges }
+
+let nodes t = t.nodes
+
+let edges t = t.edges
+
+let successors t ~removed node =
+  List.filter_map
+    (fun e ->
+       if e.src = node && not (List.mem e removed) then Some e.dst else None)
+    t.edges
+
+let reachable ?(removed = []) t ~from ~target =
+  let visited = ref [] in
+  let rec go node =
+    if node = target then true
+    else if List.mem node !visited then false
+    else begin
+      visited := node :: !visited;
+      List.exists go (successors t ~removed node)
+    end
+  in
+  go from
+
+let exploit_reachable t = reachable t ~from:Start ~target:Compromised
+
+let attack_paths t ~max_paths =
+  let paths = ref [] in
+  let rec go node path =
+    if List.length !paths >= max_paths then ()
+    else if node = Compromised then paths := List.rev (node :: path) :: !paths
+    else if List.mem node path then ()
+    else
+      List.iter (fun next -> go next (node :: path)) (successors t ~removed:[] node)
+  in
+  go Start [];
+  List.rev !paths
+
+let hidden_edges t = List.filter (fun e -> e.kind = Hidden_step) t.edges
+
+(* All size-k subsets of a list. *)
+let rec subsets k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+
+let min_hidden_cut t =
+  if not (exploit_reachable t) then None
+  else begin
+    let hidden = hidden_edges t in
+    let rec try_size k =
+      if k > List.length hidden then None
+      else
+        match
+          List.find_opt
+            (fun cut -> not (reachable t ~removed:cut ~from:Start ~target:Compromised))
+            (subsets k hidden)
+        with
+        | Some cut -> Some cut
+        | None -> try_size (k + 1)
+    in
+    try_size 1
+  end
+
+let agrees_with_lemma t =
+  if not (exploit_reachable t) then true
+  else match min_hidden_cut t with Some [ _ ] -> true | Some _ | None -> false
+
+let node_label = function
+  | Start -> "start"
+  | Site { operation; pfsm } -> Printf.sprintf "%s / %s" operation pfsm
+  | Compromised -> "COMPROMISED"
+  | Foiled -> "foiled"
+  | Benign -> "benign"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>attack graph: %d nodes, %d edges (%d hidden)@,"
+    (List.length t.nodes) (List.length t.edges)
+    (List.length (hidden_edges t));
+  List.iter
+    (fun e ->
+       Format.fprintf ppf "  %s --%s--> %s@," (node_label e.src)
+         (match e.kind with Normal_step -> "" | Hidden_step -> "HIDDEN")
+         (node_label e.dst))
+    t.edges;
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph attack_graph {\n  rankdir=LR;\n";
+  let id node =
+    "\"" ^ String.map (fun c -> if c = '"' then '\'' else c) (node_label node) ^ "\""
+  in
+  List.iter
+    (fun e ->
+       Printf.bprintf buf "  %s -> %s%s;\n" (id e.src) (id e.dst)
+         (match e.kind with
+          | Normal_step -> ""
+          | Hidden_step -> " [style=dotted, color=red, label=\"hidden\"]"))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

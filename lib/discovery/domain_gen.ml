@@ -1,0 +1,41 @@
+let boundary_ints =
+  [ 0; 1; -1; 2; 99; 100; 101; 1023; 1024; 1025;
+    0x7fff_ffff; -0x8000_0000; 0x8000_0000; 0xffff_ff00;
+    -800; -1024; 4_294_967_200 ]
+
+let int_candidates ~seed ~n =
+  let rng = Vulndb.Prng.create ~seed in
+  let random_tail =
+    List.init n (fun _ ->
+        Vulndb.Prng.in_range rng ~low:(-0x8000_0000) ~high:0x8000_0000)
+  in
+  boundary_ints @ random_tail
+
+let int_strings ~seed ~n =
+  List.map string_of_int (int_candidates ~seed ~n)
+  @ [ ""; "abc"; "12abc"; "+7"; "-"; " 42" ]
+
+let length_strings ~seed ~n ~around =
+  let rng = Vulndb.Prng.create ~seed in
+  let lengths =
+    [ 0; 1; max 0 (around - 1); around; around + 1; around + 4; (2 * around) + 1 ]
+    @ List.init n (fun _ -> Vulndb.Prng.below rng (4 * (around + 1)))
+  in
+  List.map (fun len -> String.make len 'a') (List.sort_uniq compare lengths)
+
+let traversal_strings =
+  [ "index.html"; "cgi/search.exe"; "../secret"; "..%2fsecret";
+    "..%252fsecret"; "..%252f..%252fwinnt%252fsystem32%252fcmd.exe";
+    "a/../../b"; "%2e%2e/config"; "..%25252fdeep" ]
+
+let format_strings =
+  [ "/var/statmon/sm/host1"; "ordinary name"; "%x"; "%8x%8x"; "%n";
+    "AA%8x%8x%n"; "100%% legit"; "%s%s%s" ]
+
+let scenario_product keyed =
+  let add_key envs (key, values) =
+    List.concat_map
+      (fun env -> List.map (fun v -> Pfsm.Env.add key v env) values)
+      envs
+  in
+  List.fold_left add_key [ Pfsm.Env.empty ] keyed

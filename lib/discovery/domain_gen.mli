@@ -1,0 +1,31 @@
+(** Candidate-input generation for data-driven witness search.
+
+    Hidden paths are found by {e data}: boundary values around every
+    specification constant, the classic malicious substrings, and a
+    deterministic random tail.  The generators are seeded, so a
+    discovery run is reproducible. *)
+
+val boundary_ints : int list
+(** 0, ±1, 100/101, the int32 edges, and the wrap values attackers
+    feed to [atoi]. *)
+
+val int_candidates : seed:int -> n:int -> int list
+(** Boundary values followed by [n] seeded random 32-bit-ish values. *)
+
+val int_strings : seed:int -> n:int -> string list
+(** Decimal renderings of {!int_candidates} plus non-numeric junk. *)
+
+val length_strings : seed:int -> n:int -> around:int -> string list
+(** Strings with lengths clustered around the boundary [around]. *)
+
+val traversal_strings : string list
+(** ["../"], ["..%2f"], ["..%252f"], nested variants, and innocuous
+    paths. *)
+
+val format_strings : string list
+(** Benign names plus [%x]/[%n]-bearing payload shapes. *)
+
+val scenario_product :
+  (string * Pfsm.Value.t list) list -> Pfsm.Env.t list
+(** Cartesian product of candidate values for each scenario key,
+    yielding complete scenario environments. *)

@@ -1,0 +1,33 @@
+type severity = Low | Medium | High | Critical
+
+type t = {
+  title : string;
+  app : string;
+  severity : severity;
+  summary : string;
+  witness : string;
+  observed : string;
+  violated_predicate : string;
+  suggested_check : string;
+}
+
+let severity_to_string = function
+  | Low -> "low"
+  | Medium -> "medium"
+  | High -> "high"
+  | Critical -> "critical"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>FINDING: %s@,\
+     \  application : %s@,\
+     \  severity    : %s@,\
+     \  summary     : %s@,\
+     \  witness     : %s@,\
+     \  observed    : %s@,\
+     \  violated    : %s@,\
+     \  fix         : %s@]"
+    t.title t.app (severity_to_string t.severity) t.summary t.witness t.observed
+    t.violated_predicate t.suggested_check
+
+let to_report t = Format.asprintf "%a" pp t

@@ -1,0 +1,40 @@
+type hit = {
+  operation : string;
+  pfsm : Pfsm.Primitive.t;
+  scenario : Pfsm.Env.t;
+}
+
+let hidden_paths model ~scenarios =
+  let report = Pfsm.Analysis.analyze model ~scenarios in
+  List.filter_map
+    (fun (f : Pfsm.Analysis.pfsm_finding) ->
+       match f.Pfsm.Analysis.example with
+       | Some scenario when f.Pfsm.Analysis.hidden_hits > 0 ->
+           Some { operation = f.Pfsm.Analysis.operation; pfsm = f.Pfsm.Analysis.pfsm; scenario }
+       | Some _ | None -> None)
+    report.Pfsm.Analysis.findings
+
+let findings_of_hits ~model hits =
+  let finding h =
+    let p = h.pfsm in
+    { Finding.title =
+        Printf.sprintf "%s: hidden IMPL_ACPT path in %s / %s"
+          model.Pfsm.Model.name h.operation p.Pfsm.Primitive.name;
+      app = model.Pfsm.Model.name;
+      severity = Finding.High;
+      summary =
+        Printf.sprintf
+          "The implementation accepts objects the specification of activity %S rejects."
+          p.Pfsm.Primitive.activity;
+      witness = Format.asprintf "%a" Pfsm.Env.pp h.scenario;
+      observed = "model cascade completes through a hidden transition";
+      violated_predicate = Pfsm.Predicate.to_string p.Pfsm.Primitive.spec;
+      suggested_check =
+        Printf.sprintf "enforce %s at %s"
+          (Pfsm.Predicate.to_string p.Pfsm.Primitive.spec)
+          h.operation }
+  in
+  List.map finding hits
+
+let discover model ~scenarios =
+  findings_of_hits ~model (hidden_paths model ~scenarios)

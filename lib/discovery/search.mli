@@ -1,0 +1,19 @@
+(** Model-level hidden-path search.
+
+    Drive generated scenarios through a model and harvest every
+    (operation, pFSM) site whose hidden IMPL_ACPT transition fires —
+    "constructing the FSM allowed us to uncover this new
+    vulnerability" (Section 5.1), mechanised. *)
+
+type hit = {
+  operation : string;
+  pfsm : Pfsm.Primitive.t;
+  scenario : Pfsm.Env.t;
+}
+
+val hidden_paths : Pfsm.Model.t -> scenarios:Pfsm.Env.t list -> hit list
+(** One hit per (site, first witnessing scenario). *)
+
+val findings_of_hits : model:Pfsm.Model.t -> hit list -> Finding.t list
+
+val discover : Pfsm.Model.t -> scenarios:Pfsm.Env.t list -> Finding.t list

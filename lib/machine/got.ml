@@ -1,0 +1,37 @@
+type entry = { slot : Addr.t; code : Addr.t }
+
+type t = {
+  mem : Memory.t;
+  base : Addr.t;
+  capacity : int;
+  mutable entries : (string * entry) list;
+  mutable next : int;
+}
+
+let create mem ~base ~capacity =
+  if not (Memory.in_bounds mem base (4 * capacity)) then
+    invalid_arg "Got.create: region outside memory";
+  { mem; base; capacity; entries = []; next = 0 }
+
+let register t name ~code =
+  if List.mem_assoc name t.entries then invalid_arg ("Got.register: duplicate " ^ name);
+  if t.next >= t.capacity then failwith "Got.register: table full";
+  let slot = t.base + (4 * t.next) in
+  t.next <- t.next + 1;
+  Memory.write_i32 t.mem slot code;
+  t.entries <- (name, { slot; code }) :: t.entries
+
+let entry t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e
+  | None -> invalid_arg ("Got: unknown function " ^ name)
+
+let slot_addr t name = (entry t name).slot
+
+let original t name = (entry t name).code
+
+let resolve t name = Memory.read_i32 t.mem (entry t name).slot
+
+let unchanged t name = resolve t name = original t name
+
+let names t = List.rev_map fst t.entries

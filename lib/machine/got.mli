@@ -1,0 +1,32 @@
+(** The Global Offset Table of the simulated process.
+
+    As in position-independent ELF binaries, every call to a library
+    function indirects through a writable in-memory slot holding the
+    function's address (footnote 4 of the paper).  Exploits corrupt a
+    slot so a later call jumps to attacker code; the paper's
+    reference-consistency pFSMs ask precisely "is the GOT entry of
+    [f] unchanged?". *)
+
+type t
+
+val create : Memory.t -> base:Addr.t -> capacity:int -> t
+
+val register : t -> string -> code:Addr.t -> unit
+(** Bind a function name to its code address; allocates the next slot
+    and initialises it, as the dynamic loader would. *)
+
+val slot_addr : t -> string -> Addr.t
+(** The address of the slot itself — what an arbitrary-write exploit
+    targets ([&addr_free], [&addr_setuid]). *)
+
+val original : t -> string -> Addr.t
+(** The address the loader stored at startup. *)
+
+val resolve : t -> string -> Addr.t
+(** Current slot contents — where a call through the GOT would jump. *)
+
+val unchanged : t -> string -> bool
+(** The reference-consistency predicate: slot still holds the
+    loader's value. *)
+
+val names : t -> string list

@@ -1,0 +1,117 @@
+type protection = No_protection | Stackguard | Split_stack
+
+type frame = {
+  func : string;
+  ret_slot : Addr.t;
+  canary_slot : Addr.t option;
+  locals : (string * Addr.t * int) list;
+  shadow_ret : Addr.t;
+  canary_value : int;
+  frame_floor : Addr.t;   (* sp value before this frame was pushed *)
+}
+
+type return_status =
+  | Returned of Addr.t
+  | Smashed_canary of { expected : int; found : int }
+
+type t = {
+  mem : Memory.t;
+  base : Addr.t;
+  protection : protection;
+  mutable sp : Addr.t;
+  mutable frames : frame list;
+}
+
+(* The canonical terminator canary used by StackGuard. *)
+let canary_word = 0x000aff0d
+
+let create mem ~base ~size ~protection =
+  if not (Memory.in_bounds mem base size) then
+    invalid_arg "Stack.create: region outside memory";
+  { mem; base; protection; sp = base + size; frames = [] }
+
+let protection t = t.protection
+
+let align8 n = (n + 7) land lnot 7
+
+let push t n =
+  let a = t.sp - n in
+  if a < t.base then failwith "Stack.push_frame: stack exhausted";
+  t.sp <- a;
+  a
+
+let push_frame t ~func ~ret_addr ~locals =
+  let frame_floor = t.sp in
+  let ret_slot = push t 4 in
+  Memory.write_i32 t.mem ret_slot ret_addr;
+  let canary_slot =
+    match t.protection with
+    | Stackguard ->
+        let slot = push t 4 in
+        Memory.write_i32 t.mem slot canary_word;
+        Some slot
+    | No_protection | Split_stack -> None
+  in
+  let local_of (name, size) =
+    let a = push t (align8 size) in
+    (name, a, size)
+  in
+  let placed = List.map local_of locals in
+  t.frames <-
+    { func; ret_slot; canary_slot; locals = placed;
+      shadow_ret = ret_addr; canary_value = canary_word; frame_floor }
+    :: t.frames
+
+let current t =
+  match t.frames with
+  | [] -> failwith "Stack: no frame"
+  | f :: _ -> f
+
+let find_local t name =
+  let f = current t in
+  let rec look = function
+    | [] -> failwith ("Stack: no local " ^ name ^ " in frame " ^ f.func)
+    | (n, a, size) :: rest -> if n = name then (a, size) else look rest
+  in
+  look f.locals
+
+let local_addr t name = fst (find_local t name)
+
+let local_size t name = snd (find_local t name)
+
+let ret_slot t = (current t).ret_slot
+
+let ret_addr_intact t =
+  let f = current t in
+  Memory.read_i32 t.mem f.ret_slot = f.shadow_ret
+
+let canary_intact t =
+  let f = current t in
+  match f.canary_slot with
+  | None -> true
+  | Some slot -> Memory.read_i32 t.mem slot = f.canary_value
+
+let distance_to_ret t name =
+  let a, _ = find_local t name in
+  (ret_slot t) - a
+
+let pop_frame t =
+  let f = current t in
+  t.frames <- List.tl t.frames;
+  t.sp <- f.frame_floor;
+  let canary_ok =
+    match f.canary_slot with
+    | None -> None
+    | Some slot ->
+        let found = Memory.read_i32 t.mem slot in
+        if found = f.canary_value then None
+        else Some (Smashed_canary { expected = f.canary_value; found })
+  in
+  match canary_ok with
+  | Some smashed -> smashed
+  | None ->
+      (match t.protection with
+       | Split_stack -> Returned f.shadow_ret
+       | No_protection | Stackguard -> Returned (Memory.read_i32 t.mem f.ret_slot))
+
+let depth t = List.length t.frames

@@ -1,0 +1,54 @@
+(** Downward-growing call stack with frames laid out as on x86:
+    saved return address above the locals, so that writing past the
+    end of a stack buffer reaches (canary, then) the return address.
+
+    Two of the paper's protection techniques are modelled directly:
+    {ul
+    {- [Stackguard]: a canary word sits between the locals and the
+       saved return address and is checked on return ([15] in the
+       paper);}
+    {- [Split_stack]: the return address is kept in a shadow store the
+       overflow cannot reach ([16], the authors' own defense).}} *)
+
+type protection = No_protection | Stackguard | Split_stack
+
+type t
+
+type return_status =
+  | Returned of Addr.t      (** control transfers to this address *)
+  | Smashed_canary of { expected : int; found : int }
+
+val create : Memory.t -> base:Addr.t -> size:int -> protection:protection -> t
+
+val protection : t -> protection
+
+val push_frame :
+  t -> func:string -> ret_addr:Addr.t -> locals:(string * int) list -> unit
+(** Locals are carved below the return slot in list order, each
+    8-byte aligned; the first local ends nearest the return address. *)
+
+val local_addr : t -> string -> Addr.t
+(** Address of a named local in the current (innermost) frame. *)
+
+val local_size : t -> string -> int
+
+val ret_slot : t -> Addr.t
+(** Address of the current frame's saved return address. *)
+
+val ret_addr_intact : t -> bool
+(** Whether the in-memory return address still matches the value
+    saved at [push_frame] time. *)
+
+val canary_intact : t -> bool
+(** True when no canary is in use or the canary is unmodified. *)
+
+val distance_to_ret : t -> string -> int
+(** Bytes from the start of the named local to the return slot —
+    how far an overflow must run to reach the return address. *)
+
+val pop_frame : t -> return_status
+(** Performs the protection checks and returns where control goes.
+    Under [Split_stack] the shadow value is used, so the status is
+    always [Returned original]. *)
+
+val depth : t -> int

@@ -1,0 +1,100 @@
+type binop =
+  | Add | Sub | Mul
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type expr =
+  | Int_lit of int
+  | Str_lit of string
+  | Var of string
+  | Bin of binop * expr * expr
+  | Not of expr
+  | Atoi of expr
+  | Strlen of expr
+
+type stmt =
+  | Decl_int of string * expr
+  | Decl_buf of string * int
+  | Decl_buf_dyn of string * expr
+  | Assign of string * expr
+  | Array_store of string * expr * expr
+  | Strcpy of string * expr
+  | Strncpy of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | Recv_into of string * string * expr * expr
+  | Reject of string
+  | Return of expr
+
+type param = Int_param of string | Str_param of string
+
+type func = {
+  name : string;
+  params : param list;
+  body : stmt list;
+}
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Int_lit n -> Format.pp_print_int ppf n
+  | Str_lit s -> Format.fprintf ppf "%S" s
+  | Var v -> Format.pp_print_string ppf v
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Not e -> Format.fprintf ppf "!%a" pp_expr e
+  | Atoi e -> Format.fprintf ppf "atoi(%a)" pp_expr e
+  | Strlen e -> Format.fprintf ppf "strlen(%a)" pp_expr e
+
+let rec pp_stmt ~indent ppf stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Decl_int (v, e) -> Format.fprintf ppf "%sint %s = %a;" pad v pp_expr e
+  | Decl_buf (v, n) -> Format.fprintf ppf "%schar %s[%d];" pad v n
+  | Decl_buf_dyn (v, e) -> Format.fprintf ppf "%schar %s[%a];" pad v pp_expr e
+  | Recv_into (rc, buf, off, maxlen) ->
+      Format.fprintf ppf "%s%s = recv(sock, %s + %a, %a);" pad rc buf pp_expr off
+        pp_expr maxlen
+  | Assign (v, e) -> Format.fprintf ppf "%s%s = %a;" pad v pp_expr e
+  | Array_store (arr, idx, v) ->
+      Format.fprintf ppf "%s%s[%a] = %a;" pad arr pp_expr idx pp_expr v
+  | Strcpy (buf, e) -> Format.fprintf ppf "%sstrcpy(%s, %a);" pad buf pp_expr e
+  | Strncpy (buf, e, bound) ->
+      Format.fprintf ppf "%sstrncpy(%s, %a, %a);" pad buf pp_expr e pp_expr bound
+  | If (cond, then_, else_) ->
+      Format.fprintf ppf "%sif %a {" pad pp_expr cond;
+      List.iter (fun s -> Format.fprintf ppf "@,%a" (pp_stmt ~indent:(indent + 2)) s) then_;
+      (match else_ with
+       | [] -> Format.fprintf ppf "@,%s}" pad
+       | _ ->
+           Format.fprintf ppf "@,%s} else {" pad;
+           List.iter
+             (fun s -> Format.fprintf ppf "@,%a" (pp_stmt ~indent:(indent + 2)) s)
+             else_;
+           Format.fprintf ppf "@,%s}" pad)
+  | While (cond, body) ->
+      Format.fprintf ppf "%swhile %a {" pad pp_expr cond;
+      List.iter (fun s -> Format.fprintf ppf "@,%a" (pp_stmt ~indent:(indent + 2)) s) body;
+      Format.fprintf ppf "@,%s}" pad
+  | Do_while (body, cond) ->
+      Format.fprintf ppf "%sdo {" pad;
+      List.iter (fun s -> Format.fprintf ppf "@,%a" (pp_stmt ~indent:(indent + 2)) s) body;
+      Format.fprintf ppf "@,%s} while %a;" pad pp_expr cond
+  | Reject reason -> Format.fprintf ppf "%sreturn -1;  /* reject: %s */" pad reason
+  | Return e -> Format.fprintf ppf "%sreturn %a;" pad pp_expr e
+
+let pp_func ppf f =
+  let param_str = function
+    | Int_param p -> "int " ^ p
+    | Str_param p -> "const char *" ^ p
+  in
+  Format.fprintf ppf "@[<v>int %s(%s) {" f.name
+    (String.concat ", " (List.map param_str f.params));
+  List.iter (fun s -> Format.fprintf ppf "@,%a" (pp_stmt ~indent:2) s) f.body;
+  Format.fprintf ppf "@,}@]"
+
+let func_to_string f = Format.asprintf "%a" pp_func f

@@ -1,0 +1,129 @@
+type danger =
+  | Store_to of string
+  | Copy_to of string
+
+type site = {
+  danger : danger;
+  guard : Ast.expr;
+}
+
+let conj guards =
+  match guards with
+  | [] -> Ast.Int_lit 1
+  | g :: rest -> List.fold_left (fun acc g' -> Ast.Bin (Ast.And, acc, g')) g rest
+
+(* Does executing this statement list always leave the function? *)
+let rec always_exits stmts =
+  List.exists
+    (fun (stmt : Ast.stmt) ->
+       match stmt with
+       | Ast.Reject _ | Ast.Return _ -> true
+       | Ast.If (_, a, b) -> always_exits a && always_exits b
+       | Ast.Decl_int _ | Ast.Decl_buf _ | Ast.Decl_buf_dyn _ | Ast.Assign _
+       | Ast.Array_store _ | Ast.Strcpy _ | Ast.Strncpy _ | Ast.Recv_into _
+       | Ast.While _ | Ast.Do_while _ -> false)
+    stmts
+
+let dangerous_sites (f : Ast.func) =
+  let sites = ref [] in
+  let emit danger guards = sites := { danger; guard = conj (List.rev guards) } :: !sites in
+  let rec walk guards stmts =
+    match stmts with
+    | [] -> ()
+    | (stmt : Ast.stmt) :: rest ->
+        let continue_with guards = walk guards rest in
+        (match stmt with
+         | Ast.Array_store (array, _, _) ->
+             emit (Store_to array) guards;
+             continue_with guards
+         | Ast.Strcpy (buffer, _) | Ast.Strncpy (buffer, _, _)
+         | Ast.Recv_into (_, buffer, _, _) ->
+             emit (Copy_to buffer) guards;
+             continue_with guards
+         | Ast.If (cond, then_, else_) ->
+             walk (cond :: guards) then_;
+             walk (Ast.Not cond :: guards) else_;
+             (* Code after the If runs under the negation of any
+                branch condition whose body always exits. *)
+             let after =
+               (if always_exits then_ then [ Ast.Not cond ] else [])
+               @ (if always_exits else_ then [ cond ] else [])
+               @ guards
+             in
+             if not (always_exits then_ && always_exits else_) then
+               walk after rest
+         | Ast.While (cond, body) ->
+             walk (cond :: guards) body;
+             continue_with (Ast.Not cond :: guards)
+         | Ast.Do_while (body, cond) ->
+             (* the first iteration runs unconditionally *)
+             walk guards body;
+             continue_with (Ast.Not cond :: guards)
+         | Ast.Reject _ | Ast.Return _ -> ()   (* unreachable afterwards *)
+         | Ast.Decl_int _ | Ast.Decl_buf _ | Ast.Decl_buf_dyn _ | Ast.Assign _ ->
+             continue_with guards)
+  in
+  walk [] f.Ast.body;
+  List.rev !sites
+
+(* ---- guard -> predicate ------------------------------------------- *)
+
+let cmp_of = function
+  | Ast.Lt -> Some Pfsm.Predicate.Lt
+  | Ast.Le -> Some Pfsm.Predicate.Le
+  | Ast.Gt -> Some Pfsm.Predicate.Gt
+  | Ast.Ge -> Some Pfsm.Predicate.Ge
+  | Ast.Eq -> Some Pfsm.Predicate.Eq
+  | Ast.Ne -> Some Pfsm.Predicate.Ne
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.And | Ast.Or -> None
+
+(* Terms: the object variable itself, strlen of it, and integer
+   literals. *)
+let rec translate_term ~object_var (e : Ast.expr) =
+  match e with
+  | Ast.Var v when v = object_var -> Some Pfsm.Predicate.Self
+  | Ast.Int_lit n -> Some (Pfsm.Predicate.Lit (Pfsm.Value.Int n))
+  | Ast.Strlen inner -> (
+      match translate_term ~object_var inner with
+      | Some t -> Some (Pfsm.Predicate.Length t)
+      | None -> None)
+  | Ast.Atoi inner -> translate_term ~object_var inner
+      (* atoi(object) as a term: the predicate then speaks about the
+         converted value; callers designate which view they model. *)
+  | Ast.Str_lit _ | Ast.Var _ | Ast.Bin _ | Ast.Not _ -> None
+
+let rec translate ~object_var (e : Ast.expr) =
+  match e with
+  | Ast.Int_lit 0 -> Some Pfsm.Predicate.False
+  | Ast.Int_lit _ -> Some Pfsm.Predicate.True
+  | Ast.Not inner -> (
+      match translate ~object_var inner with
+      | Some p -> Some (Pfsm.Predicate.Not p)
+      | None -> None)
+  | Ast.Bin (Ast.And, a, b) -> connective ~object_var a b (fun p q -> Pfsm.Predicate.And (p, q))
+  | Ast.Bin (Ast.Or, a, b) -> connective ~object_var a b (fun p q -> Pfsm.Predicate.Or (p, q))
+  | Ast.Bin (op, a, b) -> (
+      match cmp_of op, translate_term ~object_var a, translate_term ~object_var b with
+      | Some cmp, Some ta, Some tb -> Some (Pfsm.Predicate.Cmp (cmp, ta, tb))
+      | _, _, _ -> None)
+  | Ast.Str_lit _ | Ast.Var _ | Ast.Atoi _ | Ast.Strlen _ -> None
+
+and connective ~object_var a b build =
+  match translate ~object_var a, translate ~object_var b with
+  | Some p, Some q -> Some (build p q)
+  | _, _ -> None
+
+let impl_predicate f ~object_var =
+  match dangerous_sites f with
+  | [] -> None
+  | { guard; _ } :: _ -> (
+      match translate ~object_var guard with
+      | Some p -> Some (Pfsm.Simplify.simplify p)
+      | None -> None)
+
+let pfsm_of ~name ~kind ~activity ~spec ~object_var f =
+  match impl_predicate f ~object_var with
+  | Some impl -> Pfsm.Primitive.make ~name ~kind ~activity ~spec ~impl
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Extract.pfsm_of: no extractable guard in %s" f.Ast.name)

@@ -1,0 +1,51 @@
+(** Extracting implementation predicates from source code.
+
+    The paper derives each pFSM's implementation predicate by reading
+    the application's code; this module mechanises that reading for
+    mini-C: the {e path condition} guarding the first dangerous
+    operation (an array store or a string copy) {e is} the
+    implementation's accept-predicate for the object involved.
+
+    With the specification supplied by the analyst, the extracted
+    predicate completes a pFSM automatically — and {!Pfsm.Verify} can
+    then certify or refute it.  This is the conclusion's "automatic
+    tool for the vulnerability analysis", for the subset of C the
+    corpus covers. *)
+
+type danger =
+  | Store_to of string   (** [Array_store] into this global array *)
+  | Copy_to of string    (** [Strcpy]/[Strncpy] into this stack buffer *)
+
+type site = {
+  danger : danger;
+  guard : Ast.expr;
+      (** conjunction of branch conditions dominating the operation *)
+}
+
+val dangerous_sites : Ast.func -> site list
+(** Every dangerous operation with its path condition, in program
+    order.  Branches that unconditionally exit ([Reject]/[Return])
+    contribute their negated condition to the code after them — the
+    C guard idiom [if (bad) return -1;]. *)
+
+val translate : object_var:string -> Ast.expr -> Pfsm.Predicate.t option
+(** Render a guard as a predicate over [Self] (the named variable's
+    value); [None] when the expression leaves the supported fragment
+    (comparisons, boolean connectives, [strlen] of the object,
+    integer literals). *)
+
+val impl_predicate : Ast.func -> object_var:string -> Pfsm.Predicate.t option
+(** The path condition of the {e first} dangerous site, translated
+    and simplified — the implementation predicate of the activity. *)
+
+val pfsm_of :
+  name:string ->
+  kind:Pfsm.Taxonomy.kind ->
+  activity:string ->
+  spec:Pfsm.Predicate.t ->
+  object_var:string ->
+  Ast.func ->
+  Pfsm.Primitive.t
+(** Assemble a pFSM whose impl is extracted from the code.  Raises
+    [Invalid_argument] when the function has no dangerous site or the
+    guard cannot be translated. *)

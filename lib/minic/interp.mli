@@ -1,0 +1,37 @@
+(** Executing mini-C on the simulated machine.
+
+    Buffers live in a real {!Machine.Stack} frame and arrays in the
+    global data segment, so out-of-bounds stores and unbounded
+    [strcpy]s hit actual simulated memory — the interpreter reports
+    the {e first} violation, which is what the extracted predicates
+    must predict. *)
+
+type value = Vint of int | Vstr of string
+
+type violation =
+  | Array_oob of { array : string; index : int }
+      (** an [Array_store] outside the array's bounds *)
+  | Buffer_overflow of { buffer : string; wrote : int; capacity : int }
+      (** a string copy past the buffer's end *)
+  | Machine_fault of Machine.Addr.t
+
+type outcome =
+  | Returned of int
+  | Rejected of string          (** a [Reject] statement fired *)
+  | Memory_violation of violation
+  | Diverged                    (** loop iteration bound exceeded *)
+
+val loop_bound : int
+
+val run :
+  ?arrays:(string * int) list ->
+  ?socket:string ->
+  Ast.func ->
+  args:value list ->
+  outcome
+(** Execute the function on a fresh process image.  [arrays] declares
+    the global [int] arrays (name, element count) the body may store
+    into; [socket] is the byte stream [Recv_into] consumes; [args]
+    must match the parameter list. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,140 @@
+type kind = Regular_file | Terminal
+
+type file = {
+  mutable content : string;
+  kind : kind;
+  owner : User.t;
+  mutable mode : Perm.t;
+}
+
+type node = File of file | Symlink of string
+
+type error =
+  | Not_found_ of string
+  | Permission_denied of string
+  | Too_many_links of string
+  | Already_exists of string
+
+exception Fs_error of error
+
+let error_message = function
+  | Not_found_ p -> p ^ ": no such file or directory"
+  | Permission_denied p -> p ^ ": permission denied"
+  | Too_many_links p -> p ^ ": too many levels of symbolic links"
+  | Already_exists p -> p ^ ": file exists"
+
+type t = { nodes : (string, node) Hashtbl.t }
+
+type fd = { fd_path : string }
+
+let create () = { nodes = Hashtbl.create 32 }
+
+(* Normalise an absolute path: collapse ["//"], ["."] and [".."]. *)
+let normalise path =
+  let parts = String.split_on_char '/' path in
+  let step acc part =
+    match part, acc with
+    | ("" | "."), _ -> acc
+    | "..", _ :: rest -> rest
+    | "..", [] -> []
+    | p, _ -> p :: acc
+  in
+  let stack = List.fold_left step [] parts in
+  "/" ^ String.concat "/" (List.rev stack)
+
+let join ~cwd path =
+  if String.length path > 0 && path.[0] = '/' then normalise path
+  else normalise (cwd ^ "/" ^ path)
+
+let node_opt t path = Hashtbl.find_opt t.nodes path
+
+let resolve t ?(cwd = "/") path =
+  let rec follow p depth =
+    if depth > 16 then raise (Fs_error (Too_many_links p));
+    match node_opt t p with
+    | Some (Symlink target) -> follow (join ~cwd:(Filename.dirname p) target) (depth + 1)
+    | Some (File _) | None -> p
+  in
+  follow (join ~cwd path) 0
+
+let mkfile t path ~owner ~mode ?(kind = Regular_file) content =
+  let p = normalise path in
+  if Hashtbl.mem t.nodes p then raise (Fs_error (Already_exists p));
+  Hashtbl.replace t.nodes p (File { content; kind; owner; mode })
+
+let symlink t ~link ~target =
+  let p = normalise link in
+  if Hashtbl.mem t.nodes p then raise (Fs_error (Already_exists p));
+  Hashtbl.replace t.nodes p (Symlink target)
+
+let unlink t path ~as_user:_ =
+  let p = normalise path in
+  if not (Hashtbl.mem t.nodes p) then raise (Fs_error (Not_found_ p));
+  Hashtbl.remove t.nodes p
+
+let exists t path = Hashtbl.mem t.nodes (normalise path)
+
+let is_symlink t path =
+  match node_opt t (normalise path) with
+  | Some (Symlink _) -> true
+  | Some (File _) | None -> false
+
+let file_exn t path =
+  let p = resolve t path in
+  match node_opt t p with
+  | Some (File f) -> (p, f)
+  | Some (Symlink _) -> raise (Fs_error (Too_many_links p))
+  | None -> raise (Fs_error (Not_found_ p))
+
+let kind_of t path = let _, f = file_exn t path in f.kind
+
+let owner_of t path = let _, f = file_exn t path in f.owner
+
+let mode_of t path = let _, f = file_exn t path in f.mode
+
+let chmod t path mode =
+  let _, f = file_exn t path in
+  f.mode <- mode
+
+let access_write t path ~as_user =
+  match file_exn t path with
+  | _, f -> Perm.can_write f.mode ~owner:f.owner ~as_user
+  | exception Fs_error _ -> false
+
+let open_write t ?(cwd = "/") path ~as_user =
+  let p = resolve t ~cwd path in
+  (match node_opt t p with
+   | Some (File f) ->
+       if not (Perm.can_write f.mode ~owner:f.owner ~as_user) then
+         raise (Fs_error (Permission_denied p))
+   | Some (Symlink _) -> raise (Fs_error (Too_many_links p))
+   | None ->
+       Hashtbl.replace t.nodes p
+         (File { content = ""; kind = Regular_file; owner = as_user;
+                 mode = Perm.of_octal 0o644 }));
+  { fd_path = p }
+
+let fd_path fd = fd.fd_path
+
+let fd_file t fd =
+  match node_opt t fd.fd_path with
+  | Some (File f) -> f
+  | Some (Symlink _) | None -> raise (Fs_error (Not_found_ fd.fd_path))
+
+let write t fd data = (fd_file t fd).content <- data
+
+let append t fd data =
+  let f = fd_file t fd in
+  f.content <- f.content ^ data
+
+let read t path ~as_user =
+  let p, f = file_exn t path in
+  if not (Perm.can_read f.mode ~owner:f.owner ~as_user) then
+    raise (Fs_error (Permission_denied p));
+  f.content
+
+let content t path =
+  let _, f = file_exn t path in
+  f.content
+
+let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t.nodes [] |> List.sort compare

@@ -1,0 +1,79 @@
+(** In-memory UNIX filesystem with symlinks, ownership and permission
+    bits — the substrate of the xterm race (Figure 5) and rwall
+    (Figure 6) models.
+
+    Paths are absolute strings; [".."] components are normalised
+    during resolution, so a [/dev]-relative utmp entry such as
+    ["../etc/passwd"] resolves exactly as it did on the vulnerable
+    Solaris systems. *)
+
+type t
+
+type kind = Regular_file | Terminal
+
+type error =
+  | Not_found_ of string
+  | Permission_denied of string
+  | Too_many_links of string
+  | Already_exists of string
+
+exception Fs_error of error
+
+val error_message : error -> string
+
+val create : unit -> t
+
+val mkfile :
+  t -> string -> owner:User.t -> mode:Perm.t -> ?kind:kind -> string -> unit
+(** [mkfile t path ~owner ~mode content] — create (or refuse to
+    overwrite) a file node. *)
+
+val symlink : t -> link:string -> target:string -> unit
+(** Create a symbolic link; the target need not exist. *)
+
+val unlink : t -> string -> as_user:User.t -> unit
+(** Remove the node itself (does not follow symlinks). *)
+
+val exists : t -> string -> bool
+
+val is_symlink : t -> string -> bool
+
+val resolve : t -> ?cwd:string -> string -> string
+(** Canonical target path after normalising [".."] and following
+    symlink chains (depth-limited). *)
+
+val kind_of : t -> string -> kind
+(** Kind of the resolved node; raises {!Fs_error} if absent. *)
+
+val owner_of : t -> string -> User.t
+
+val mode_of : t -> string -> Perm.t
+
+val chmod : t -> string -> Perm.t -> unit
+
+val access_write : t -> string -> as_user:User.t -> bool
+(** The {e check} half of check-then-use: would a write open succeed
+    right now?  Follows symlinks, returns false when absent. *)
+
+type fd
+
+val open_write : t -> ?cwd:string -> string -> as_user:User.t -> fd
+(** The {e use} half: resolve (following any symlink present {e at
+    this moment}) and open for writing, enforcing permissions on the
+    resolved target.  Missing files are created owned by [as_user]. *)
+
+val fd_path : fd -> string
+(** The resolved path the descriptor actually designates. *)
+
+val write : t -> fd -> string -> unit
+(** Replace content. *)
+
+val append : t -> fd -> string -> unit
+
+val read : t -> string -> as_user:User.t -> string
+(** Read a file's content (follows symlinks, checks read access). *)
+
+val content : t -> string -> string
+(** Raw content by resolved path, no permission check (for tests). *)
+
+val paths : t -> string list

@@ -1,0 +1,28 @@
+type t = { owner_read : bool; owner_write : bool; other_read : bool; other_write : bool }
+
+let make ~owner_read ~owner_write ~other_read ~other_write =
+  { owner_read; owner_write; other_read; other_write }
+
+let of_octal mode =
+  { owner_read = mode land 0o400 <> 0;
+    owner_write = mode land 0o200 <> 0;
+    other_read = mode land 0o004 <> 0;
+    other_write = mode land 0o002 <> 0 }
+
+let to_octal t =
+  (if t.owner_read then 0o400 else 0)
+  lor (if t.owner_write then 0o200 else 0)
+  lor (if t.other_read then 0o004 else 0)
+  lor (if t.other_write then 0o002 else 0)
+
+let can_read t ~owner ~as_user =
+  User.is_root as_user
+  || (if User.equal owner as_user then t.owner_read else t.other_read)
+
+let can_write t ~owner ~as_user =
+  User.is_root as_user
+  || (if User.equal owner as_user then t.owner_write else t.other_write)
+
+let world_writable t = t.other_write
+
+let pp ppf t = Format.fprintf ppf "0o%03o" (to_octal t)

@@ -1,0 +1,20 @@
+(** UNIX permission modes (owner/other read-write bits; the studied
+    vulnerabilities never hinge on group or execute bits). *)
+
+type t
+
+val make : owner_read:bool -> owner_write:bool -> other_read:bool -> other_write:bool -> t
+
+val of_octal : int -> t
+(** Interpret the usual octal notation, e.g. [0o644], [0o666]. *)
+
+val to_octal : t -> int
+
+val can_read : t -> owner:User.t -> as_user:User.t -> bool
+
+val can_write : t -> owner:User.t -> as_user:User.t -> bool
+(** Root bypasses permission bits, as on a real system. *)
+
+val world_writable : t -> bool
+
+val pp : Format.formatter -> t -> unit

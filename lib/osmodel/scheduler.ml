@@ -1,0 +1,70 @@
+type 'st step = { label : string; run : 'st -> unit }
+
+let step label run = { label; run }
+
+let interleavings xs ys =
+  let rec merge xs ys =
+    match xs, ys with
+    | [], _ -> [ ys ]
+    | _, [] -> [ xs ]
+    | x :: xs', y :: ys' ->
+        List.map (fun rest -> x :: rest) (merge xs' ys)
+        @ List.map (fun rest -> y :: rest) (merge xs ys')
+  in
+  merge xs ys
+
+(* C(n+m, n), multiplicatively: each partial product is itself a
+   binomial coefficient, so the division is exact. *)
+let interleaving_count n m =
+  let rec go acc i = if i > n then acc else go (acc * (m + i) / i) (i + 1) in
+  go 1 1
+
+type 'r verdict = { schedule : string list; result : 'r }
+
+let run_schedules ~init ~check schedules =
+  let run_one steps =
+    let st = init () in
+    let ran =
+      List.map
+        (fun s ->
+           (try s.run st with _ -> ());
+           s.label)
+        steps
+    in
+    match check st with
+    | Some result -> Some { schedule = ran; result }
+    | None -> None
+  in
+  List.filter_map run_one schedules
+
+let explore ~init ~a ~b ~check = run_schedules ~init ~check (interleavings a b)
+
+(* Pick the head of any non-empty sequence as the next step, recurse. *)
+let interleavings_n seqs =
+  let rec merge_all seqs =
+    let seqs = List.filter (fun s -> s <> []) seqs in
+    if seqs = [] then [ [] ]
+    else
+      List.concat
+        (List.mapi
+           (fun i seq ->
+              match seq with
+              | [] -> []
+              | head :: tail ->
+                  let rest = List.mapi (fun j s -> if j = i then tail else s) seqs in
+                  List.map (fun m -> head :: m) (merge_all rest))
+           seqs)
+  in
+  merge_all seqs
+
+let interleaving_count_n lengths =
+  let total = List.fold_left ( + ) 0 lengths in
+  (* multiply (n_prefix + k choose k) over the sequences *)
+  let rec go acc consumed = function
+    | [] -> acc
+    | n :: rest -> go (acc * interleaving_count n consumed) (consumed + n) rest
+  in
+  ignore total;
+  go 1 0 lengths
+
+let explore_n ~init ~procs ~check = run_schedules ~init ~check (interleavings_n procs)

@@ -1,0 +1,51 @@
+(** Deterministic exploration of process interleavings.
+
+    File race conditions (time-of-check-to-time-of-use) only manifest
+    under particular schedules.  Instead of racing wall-clock time,
+    the scheduler {e enumerates every interleaving} of two processes'
+    atomic steps and evaluates a property on the resulting state —
+    making the xterm race (Figure 5) a deterministic, exhaustively
+    checkable experiment. *)
+
+type 'st step = { label : string; run : 'st -> unit }
+
+val step : string -> ('st -> unit) -> 'st step
+
+val interleavings : 'a list -> 'a list -> 'a list list
+(** All merges of the two sequences that preserve each sequence's
+    internal order.  Length is [C(n+m, n)]. *)
+
+val interleaving_count : int -> int -> int
+(** [C(n+m, n)] without materialising the schedules. *)
+
+type 'r verdict = {
+  schedule : string list;     (** executed step labels in order *)
+  result : 'r;
+}
+
+val explore :
+  init:(unit -> 'st) ->
+  a:'st step list ->
+  b:'st step list ->
+  check:('st -> 'r option) ->
+  'r verdict list
+(** Run every interleaving from a fresh state; steps that raise are
+    treated as no-ops for that process (a failed syscall does not
+    stop the attacker).  Collect each schedule on which [check]
+    yields a result. *)
+
+(** {2 N processes} *)
+
+val interleavings_n : 'a list list -> 'a list list
+(** All merges of any number of sequences — the multinomial
+    generalisation of {!interleavings}. *)
+
+val interleaving_count_n : int list -> int
+(** [(Σnᵢ)! / Πnᵢ!] without materialising the schedules. *)
+
+val explore_n :
+  init:(unit -> 'st) ->
+  procs:'st step list list ->
+  check:('st -> 'r option) ->
+  'r verdict list
+(** {!explore} over any number of concurrent processes. *)

@@ -1,0 +1,17 @@
+type t = { data : string; mutable pos : int }
+
+let of_string data = { data; pos = 0 }
+
+let recv t n =
+  if n <= 0 then ""
+  else begin
+    let available = String.length t.data - t.pos in
+    let take = min n available in
+    let chunk = String.sub t.data t.pos take in
+    t.pos <- t.pos + take;
+    chunk
+  end
+
+let remaining t = String.length t.data - t.pos
+
+let consumed t = t.pos

@@ -1,0 +1,21 @@
+(** A connected socket as seen by a server: a byte stream delivered in
+    bounded chunks.
+
+    The crucial property (paper, Section 5.1): the socket "has no way
+    of determining the length of the input" — the peer's declared
+    [Content-Length] and the bytes actually sent are independent, and
+    [recv] simply returns whatever is available, up to the caller's
+    buffer size. *)
+
+type t
+
+val of_string : string -> t
+(** A socket whose peer sends exactly this byte sequence. *)
+
+val recv : t -> int -> string
+(** [recv t n] consumes and returns up to [n] pending bytes; [""]
+    once the peer is done (C's return of 0). *)
+
+val remaining : t -> int
+
+val consumed : t -> int

@@ -1,0 +1,13 @@
+type t = Root | Regular of string
+
+let equal a b =
+  match a, b with
+  | Root, Root -> true
+  | Regular x, Regular y -> String.equal x y
+  | Root, Regular _ | Regular _, Root -> false
+
+let is_root = function Root -> true | Regular _ -> false
+
+let name = function Root -> "root" | Regular n -> n
+
+let pp ppf u = Format.pp_print_string ppf (name u)

@@ -1,0 +1,11 @@
+(** Users of the simulated UNIX system. *)
+
+type t = Root | Regular of string
+
+val equal : t -> t -> bool
+
+val is_root : t -> bool
+
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

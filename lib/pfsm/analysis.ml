@@ -1,0 +1,59 @@
+type pfsm_finding = {
+  operation : string;
+  pfsm : Primitive.t;
+  missing_check : bool;
+  hidden_hits : int;
+  example : Env.t option;
+}
+
+type report = {
+  model : Model.t;
+  scenarios_run : int;
+  traces : (Env.t * Trace.t) list;
+  findings : pfsm_finding list;
+}
+
+let analyze model ~scenarios =
+  let traces = List.map (fun env -> (env, Model.run model ~env)) scenarios in
+  let finding_of (op_name, pfsm) =
+    let hits =
+      List.filter_map
+        (fun (env, trace) ->
+           let hit s =
+             s.Trace.operation = op_name
+             && s.Trace.pfsm.Primitive.name = pfsm.Primitive.name
+             && s.Trace.verdict.Primitive.hidden
+           in
+           if List.exists hit trace.Trace.steps then Some env else None)
+        traces
+    in
+    { operation = op_name;
+      pfsm;
+      missing_check = Primitive.missing_check pfsm;
+      hidden_hits = List.length hits;
+      example = (match hits with [] -> None | env :: _ -> Some env) }
+  in
+  { model;
+    scenarios_run = List.length scenarios;
+    traces;
+    findings = List.map finding_of (Model.all_pfsms model) }
+
+let exploited report =
+  List.filter (fun (_, trace) -> Trace.exploited trace) report.traces
+
+let vulnerable_pfsms report = List.filter (fun f -> f.hidden_hits > 0) report.findings
+
+let vulnerable_operations report =
+  let ops = List.map (fun f -> f.operation) (vulnerable_pfsms report) in
+  List.sort_uniq compare ops
+
+let taxonomy_matrix model =
+  let pfsms = Model.all_pfsms model in
+  let bucket kind =
+    (kind,
+     List.filter (fun (_, p) -> Taxonomy.equal p.Primitive.kind kind) pfsms)
+  in
+  List.map bucket Taxonomy.all
+
+let security_checks report =
+  List.map (fun f -> (f.operation, f.pfsm)) (vulnerable_pfsms report)

@@ -1,0 +1,35 @@
+(** Whole-model analysis: run a set of attack scenarios through a
+    model, locate the hidden paths, and classify every pFSM by the
+    Section-6 taxonomy. *)
+
+type pfsm_finding = {
+  operation : string;
+  pfsm : Primitive.t;
+  missing_check : bool;     (** implementation performs no check at all *)
+  hidden_hits : int;        (** scenarios that drove its hidden path *)
+  example : Env.t option;   (** one such scenario *)
+}
+
+type report = {
+  model : Model.t;
+  scenarios_run : int;
+  traces : (Env.t * Trace.t) list;
+  findings : pfsm_finding list;
+}
+
+val analyze : Model.t -> scenarios:Env.t list -> report
+
+val exploited : report -> (Env.t * Trace.t) list
+
+val vulnerable_operations : report -> string list
+(** Operations containing at least one pFSM with a hidden hit. *)
+
+val vulnerable_pfsms : report -> pfsm_finding list
+
+val taxonomy_matrix : Model.t -> (Taxonomy.kind * (string * Primitive.t) list) list
+(** Table 2's rows: every pFSM of the model bucketed by its generic
+    type (empty buckets included). *)
+
+val security_checks : report -> (string * Primitive.t) list
+(** Where to add checks: the vulnerable pFSMs, each paired with the
+    predicate that must be enforced ([pfsm.spec]). *)

@@ -1,0 +1,48 @@
+let registry =
+  [ ("representable_int32", Taxonomy.Object_type_check);
+    ("is_terminal", Taxonomy.Object_type_check);
+    ("index_in_bounds", Taxonomy.Content_attribute_check);
+    ("length_within", Taxonomy.Content_attribute_check);
+    ("length_fits_buffer", Taxonomy.Content_attribute_check);
+    ("non_negative", Taxonomy.Content_attribute_check);
+    ("traversal_free", Taxonomy.Content_attribute_check);
+    ("format_free", Taxonomy.Content_attribute_check);
+    ("has_privilege", Taxonomy.Content_attribute_check);
+    ("reference_unchanged", Taxonomy.Reference_consistency_check);
+    ("address_equals", Taxonomy.Reference_consistency_check) ]
+
+let kind_of name = List.assoc_opt name registry
+
+let names = List.map fst registry
+
+let representable_int32 = Predicate.Fits_int32 Predicate.Self
+
+let is_terminal ~kind_key =
+  Predicate.Str_eq (Predicate.Env_val kind_key, Predicate.Lit (Value.Str "terminal"))
+
+let index_in_bounds ~low ~high = Predicate.between Predicate.Self ~low ~high
+
+let length_within n =
+  Predicate.Cmp (Predicate.Le, Predicate.Length Predicate.Self, Predicate.Lit (Value.Int n))
+
+let length_fits_buffer ~size_key =
+  Predicate.Cmp (Predicate.Le, Predicate.Length Predicate.Self, Predicate.Env_val size_key)
+
+let non_negative =
+  Predicate.Cmp (Predicate.Ge, Predicate.Self, Predicate.Lit (Value.Int 0))
+
+let traversal_free ~decodes =
+  Predicate.Not (Predicate.Contains (Predicate.Decode (decodes, Predicate.Self), "../"))
+
+let format_free = Predicate.Is_format_free Predicate.Self
+
+let has_privilege ~flag = Predicate.Env_flag flag
+
+let reference_unchanged ~flag = Predicate.Env_flag flag
+
+let address_equals v = Predicate.Cmp (Predicate.Eq, Predicate.Self, Predicate.Lit v)
+
+let pfsm ~name ~check ~activity ?(impl = Predicate.True) spec =
+  match kind_of check with
+  | None -> invalid_arg ("Checks.pfsm: unknown check " ^ check)
+  | Some kind -> Primitive.make ~name ~kind ~activity ~spec ~impl

@@ -1,0 +1,70 @@
+(** A library of reusable security predicates.
+
+    The paper's conclusion calls for "a comprehensive understanding of
+    these predicates" as the path to an automatic analysis tool; this
+    module collects the generic predicates its studied vulnerabilities
+    needed, each tagged with the Figure-8 pFSM type it belongs to, so
+    new models can be assembled from named checks instead of raw
+    predicate syntax. *)
+
+val kind_of : string -> Taxonomy.kind option
+(** The generic type of a named check from this module. *)
+
+val names : string list
+(** All check names known to {!kind_of}. *)
+
+(** {2 Object type checks} *)
+
+val representable_int32 : Predicate.t
+(** The object (string or integer) denotes a value a C [int] holds —
+    Sendmail's pFSM1. *)
+
+val is_terminal : kind_key:string -> Predicate.t
+(** The environment fact [kind_key] says the target is a terminal —
+    rwall's pFSM2. *)
+
+(** {2 Content and attribute checks} *)
+
+val index_in_bounds : low:int -> high:int -> Predicate.t
+(** [low <= self <= high] — the array-index check. *)
+
+val length_within : int -> Predicate.t
+(** [length(self) <= n] — GHTTPD's 200-byte check. *)
+
+val length_fits_buffer : size_key:string -> Predicate.t
+(** [length(self) <= env\[size_key\]] — NULL HTTPD's pFSM2. *)
+
+val non_negative : Predicate.t
+
+val traversal_free : decodes:int -> Predicate.t
+(** No ["../"] after [decodes] passes of URL decoding — IIS's pFSM1. *)
+
+val format_free : Predicate.t
+(** No printf conversion directives — rpc.statd's pFSM1. *)
+
+val has_privilege : flag:string -> Predicate.t
+(** The environment grants the privilege — rwall's pFSM1. *)
+
+(** {2 Reference consistency checks} *)
+
+val reference_unchanged : flag:string -> Predicate.t
+(** The binding recorded at check time still holds at use time
+    (return address, GOT entry, chunk links, file binding). *)
+
+val address_equals : Value.t -> Predicate.t
+(** The reference still points at the recorded address. *)
+
+(** {2 Assembly helpers} *)
+
+val pfsm :
+  name:string ->
+  check:string ->
+  activity:string ->
+  ?impl:Predicate.t ->
+  Predicate.t ->
+  Primitive.t
+(** [pfsm ~name ~check ~activity spec] builds a primitive FSM whose
+    taxonomy kind is derived from the named [check]; [impl] defaults
+    to no check at all ([Predicate.True]), i.e. the vulnerable
+    configuration. Raises [Invalid_argument] on an unknown check
+    name. *)

@@ -1,0 +1,95 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pred_label p = escape (Predicate.to_string p)
+
+(* Nodes for one pFSM inside [buf]; returns (entry, accept) node ids. *)
+let emit_pfsm buf ~id pfsm =
+  let n suffix = Printf.sprintf "%s_%s" id suffix in
+  let spec = pfsm.Primitive.spec and impl = pfsm.Primitive.impl in
+  Printf.bprintf buf
+    "    %s [shape=circle, label=\"SPEC\\ncheck\", tooltip=\"%s\"];\n"
+    (n "check") (escape pfsm.Primitive.activity);
+  Printf.bprintf buf "    %s [shape=doublecircle, label=\"accept\"];\n" (n "accept");
+  Printf.bprintf buf "    %s [shape=circle, label=\"reject\", style=filled, fillcolor=gray85];\n"
+    (n "reject");
+  Printf.bprintf buf "    %s [shape=point, label=\"\"];\n" (n "mid");
+  Printf.bprintf buf "    %s -> %s [label=\"SPEC_ACPT: %s\"];\n" (n "check") (n "accept")
+    (pred_label spec);
+  Printf.bprintf buf "    %s -> %s [label=\"SPEC_REJ: %s\"];\n" (n "check") (n "mid")
+    (pred_label (Predicate.Not spec));
+  if Primitive.missing_check pfsm then
+    Printf.bprintf buf "    %s -> %s [label=\"IMPL_REJ: ?\", style=invis];\n" (n "mid")
+      (n "reject")
+  else
+    Printf.bprintf buf "    %s -> %s [label=\"IMPL_REJ: %s\"];\n" (n "mid") (n "reject")
+      (pred_label (Predicate.Not impl));
+  if spec <> impl then
+    Printf.bprintf buf
+      "    %s -> %s [label=\"IMPL_ACPT\", style=dotted, color=red, fontcolor=red];\n"
+      (n "mid") (n "accept");
+  (n "check", n "accept")
+
+let of_primitive pfsm =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "digraph pfsm {\n  rankdir=LR;\n";
+  Printf.bprintf buf "  subgraph cluster_0 {\n    label=\"%s (%s)\";\n"
+    (escape pfsm.Primitive.name)
+    (escape (Taxonomy.to_string pfsm.Primitive.kind));
+  ignore (emit_pfsm buf ~id:"p0" pfsm);
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
+let of_model model =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "digraph %s {\n  rankdir=TB;\n  compound=true;\n"
+    "vulnerability_model";
+  Printf.bprintf buf "  label=\"%s\";\n" (escape model.Model.name);
+  let gate_nodes = ref [] in
+  List.iteri
+    (fun oi binding ->
+       let op = binding.Model.operation in
+       Printf.bprintf buf "  subgraph cluster_op%d {\n    label=\"Operation %d: %s\";\n"
+         oi (oi + 1) (escape op.Operation.name);
+       let chain =
+         List.mapi
+           (fun pi stage ->
+              emit_pfsm buf ~id:(Printf.sprintf "op%d_p%d" oi pi) stage.Operation.pfsm)
+           op.Operation.stages
+       in
+       Buffer.add_string buf "  }\n";
+       (* Chain accept of pFSM k to check of pFSM k+1. *)
+       let rec link = function
+         | (_, acc) :: ((chk, _) :: _ as rest) ->
+             Printf.bprintf buf "  %s -> %s [style=bold];\n" acc chk;
+             link rest
+         | [ _ ] | [] -> ()
+       in
+       link chain;
+       (* Propagation gate out of the operation's last accept. *)
+       (match List.rev chain with
+        | (_, last_accept) :: _ ->
+            let gate = Printf.sprintf "gate%d" oi in
+            Printf.bprintf buf "  %s [shape=triangle, label=\"%s\"];\n" gate
+              (escape op.Operation.effect_label);
+            Printf.bprintf buf "  %s -> %s;\n" last_accept gate;
+            gate_nodes := (gate, oi) :: !gate_nodes
+        | [] -> ());
+       (* Gate of the previous operation feeds this operation's entry. *)
+       if oi > 0 then
+         (match chain with
+          | (first_check, _) :: _ ->
+              Printf.bprintf buf "  gate%d -> %s [style=dashed];\n" (oi - 1) first_check
+          | [] -> ()))
+    model.Model.bindings;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Graphviz rendering of a model, in the visual language of the
+    paper's figures: one cluster per operation, solid SPEC/IMPL_REJ
+    edges, a dotted IMPL_ACPT edge wherever the implementation's
+    predicate differs from the specification's, a "?" marker on
+    missing checks, and triangle propagation gates between
+    operations. *)
+
+val of_model : Model.t -> string
+(** A complete [digraph] as a string, suitable for [dot -Tsvg]. *)
+
+val of_primitive : Primitive.t -> string
+(** A single pFSM as its own digraph (Figure 2 shape). *)

@@ -1,0 +1,55 @@
+type check = {
+  scenario : Env.t;
+  op_name : string;
+  foiled : bool;
+}
+
+let exploited_with_hidden_ops model ~scenarios =
+  List.filter_map
+    (fun env ->
+       let trace = Model.run model ~env in
+       if Trace.exploited trace then
+         let hidden = Trace.hidden_steps trace in
+         Some (env, trace, hidden)
+       else None)
+    scenarios
+
+let sufficiency model ~scenarios =
+  let per_scenario (env, _trace, hidden) =
+    let ops =
+      List.sort_uniq compare (List.map (fun s -> s.Trace.operation) hidden)
+    in
+    List.map
+      (fun op_name ->
+         let hardened = Model.secure_operation model ~op_name in
+         let trace' = Model.run hardened ~env in
+         { scenario = env; op_name; foiled = Trace.foiled trace' })
+      ops
+  in
+  List.concat_map per_scenario (exploited_with_hidden_ops model ~scenarios)
+
+let pfsm_sufficiency model ~scenarios =
+  let per_scenario (env, _trace, hidden) =
+    let sites =
+      List.sort_uniq compare
+        (List.map (fun s -> (s.Trace.operation, s.Trace.pfsm.Primitive.name)) hidden)
+    in
+    List.map
+      (fun (op_name, pfsm_name) ->
+         let hardened = Model.secure_pfsm model ~op_name ~pfsm_name in
+         let trace' = Model.run hardened ~env in
+         { scenario = env;
+           op_name = op_name ^ "/" ^ pfsm_name;
+           foiled = Trace.foiled trace' })
+      sites
+  in
+  List.concat_map per_scenario (exploited_with_hidden_ops model ~scenarios)
+
+let holds model ~scenarios =
+  List.for_all (fun c -> c.foiled) (sufficiency model ~scenarios)
+
+let full_security model ~scenarios =
+  let hardened = Model.secure_all model in
+  List.for_all
+    (fun env -> not (Trace.exploited (Model.run hardened ~env)))
+    scenarios

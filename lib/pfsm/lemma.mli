@@ -1,0 +1,30 @@
+(** Mechanised checking of the Section-6 lemma.
+
+    (1) An operation is secure when every one of its constituent
+    predicates is correctly implemented; (2) to foil an exploit
+    consisting of a sequence of vulnerable operations, it suffices to
+    secure {e any one} operation in the sequence. *)
+
+type check = {
+  scenario : Env.t;
+  op_name : string;           (** the single operation secured *)
+  foiled : bool;              (** the exploit no longer completes *)
+}
+
+val sufficiency : Model.t -> scenarios:Env.t list -> check list
+(** For every scenario the model marks as exploited, and every
+    operation that took a hidden transition in its trace: secure that
+    operation alone, re-run, and record whether the exploit is
+    foiled.  The lemma predicts [foiled = true] throughout. *)
+
+val pfsm_sufficiency : Model.t -> scenarios:Env.t list -> check list
+(** The finer-grained variant: securing just the single elementary
+    activity whose hidden path the exploit used. [op_name] then holds
+    ["operation/pfsm"]. *)
+
+val holds : Model.t -> scenarios:Env.t list -> bool
+(** All {!sufficiency} checks pass. *)
+
+val full_security : Model.t -> scenarios:Env.t list -> bool
+(** Part 1 sanity: with every operation secured, no scenario
+    completes via a hidden path. *)

@@ -1,0 +1,78 @@
+type binding = {
+  operation : Operation.t;
+  input : Env.t -> Value.t;
+  input_label : string;
+}
+
+type t = {
+  name : string;
+  bugtraq_id : int option;
+  description : string;
+  bindings : binding list;
+}
+
+let bind ~input ~input_label operation = { operation; input; input_label }
+
+let make ~name ?bugtraq_id ~description bindings =
+  if bindings = [] then invalid_arg "Model.make: no operations";
+  { name; bugtraq_id; description; bindings }
+
+let run t ~env =
+  let step_of op (pfsm, verdict) =
+    { Trace.operation = op.Operation.name; pfsm; verdict }
+  in
+  let rec go bindings env steps =
+    match bindings with
+    | [] ->
+        { Trace.model = t.name; steps = List.rev steps; completed = true;
+          stopped_at = None; final_env = env }
+    | b :: rest ->
+        let input = b.input env in
+        let result = Operation.run b.operation ~env ~input in
+        let steps =
+          List.rev_append (List.map (step_of b.operation) result.Operation.verdicts) steps
+        in
+        if result.Operation.completed then go rest result.Operation.env steps
+        else
+          let failed_pfsm =
+            match List.rev result.Operation.verdicts with
+            | (p, _) :: _ -> p.Primitive.name
+            | [] -> "?"
+          in
+          { Trace.model = t.name; steps = List.rev steps; completed = false;
+            stopped_at = Some (b.operation.Operation.name, failed_pfsm);
+            final_env = result.Operation.env }
+  in
+  go t.bindings env []
+
+let operations t = List.map (fun b -> b.operation) t.bindings
+
+let all_pfsms t =
+  List.concat_map
+    (fun b ->
+       List.map (fun p -> (b.operation.Operation.name, p)) (Operation.pfsms b.operation))
+    t.bindings
+
+let operation_names t = List.map (fun b -> b.operation.Operation.name) t.bindings
+
+let map_operation t ~op_name f =
+  let found = ref false in
+  let fix b =
+    if b.operation.Operation.name = op_name then begin
+      found := true;
+      { b with operation = f b.operation }
+    end
+    else b
+  in
+  let bindings = List.map fix t.bindings in
+  if not !found then invalid_arg ("Model.secure: unknown operation " ^ op_name);
+  { t with bindings }
+
+let secure_operation t ~op_name = map_operation t ~op_name Operation.secured
+
+let secure_pfsm t ~op_name ~pfsm_name =
+  map_operation t ~op_name (fun op -> Operation.secured_only op ~pfsm_name)
+
+let secure_all t =
+  { t with
+    bindings = List.map (fun b -> { b with operation = Operation.secured b.operation }) t.bindings }

@@ -1,0 +1,47 @@
+(** A complete FSM model of a vulnerability: operations cascaded by
+    propagation gates (the triangles of Figures 3-7).
+
+    A scenario — the attacker's inputs plus initial system facts — is
+    an {!Env.t}.  Each operation draws its input object from the
+    environment, runs its pFSM series, and on completion applies its
+    effect, which is what downstream operations' predicates observe. *)
+
+type binding = {
+  operation : Operation.t;
+  input : Env.t -> Value.t;     (** where this operation's object comes from *)
+  input_label : string;
+}
+
+type t = {
+  name : string;
+  bugtraq_id : int option;
+  description : string;
+  bindings : binding list;
+}
+
+val bind : input:(Env.t -> Value.t) -> input_label:string -> Operation.t -> binding
+
+val make :
+  name:string -> ?bugtraq_id:int -> description:string -> binding list -> t
+
+val run : t -> env:Env.t -> Trace.t
+(** Cascade the operations over the scenario.  A rejection anywhere
+    stops the cascade (the exploit is foiled); completion of all
+    operations with at least one hidden transition is a successful
+    exploit per the model. *)
+
+val operations : t -> Operation.t list
+
+val all_pfsms : t -> (string * Primitive.t) list
+(** (operation name, pFSM) pairs, cascade order. *)
+
+val operation_names : t -> string list
+
+val secure_operation : t -> op_name:string -> t
+(** Harden one operation (all of its checks) — the hypothesis of the
+    paper's lemma, part 2. *)
+
+val secure_pfsm : t -> op_name:string -> pfsm_name:string -> t
+(** Harden a single elementary activity. *)
+
+val secure_all : t -> t

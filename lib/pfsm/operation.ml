@@ -1,0 +1,55 @@
+type stage = {
+  pfsm : Primitive.t;
+  action : Env.t -> Value.t -> Env.t * Value.t;
+  action_label : string;
+}
+
+type t = {
+  name : string;
+  object_name : string;
+  stages : stage list;
+  effect_label : string;
+  effect_ : Env.t -> Env.t;
+}
+
+let stage ?(action = fun env v -> (env, v)) ?(action_label = "") pfsm =
+  { pfsm; action; action_label }
+
+let make ~name ~object_name ?(effect_label = "") ?(effect_ = fun env -> env) stages =
+  if stages = [] then invalid_arg "Operation.make: no stages";
+  { name; object_name; stages; effect_label; effect_ }
+
+type result = {
+  verdicts : (Primitive.t * Primitive.verdict) list;
+  completed : bool;
+  env : Env.t;
+  obj : Value.t;
+}
+
+let run t ~env ~input =
+  let rec go stages env obj acc =
+    match stages with
+    | [] -> { verdicts = List.rev acc; completed = true; env = t.effect_ env; obj }
+    | s :: rest ->
+        let verdict = Primitive.run s.pfsm ~env ~self:obj in
+        let acc = (s.pfsm, verdict) :: acc in
+        (match verdict.Primitive.final with
+         | Primitive.Reject_state | Primitive.Spec_check_state ->
+             { verdicts = List.rev acc; completed = false; env; obj }
+         | Primitive.Accept_state ->
+             let env, obj = s.action env obj in
+             go rest env obj acc)
+  in
+  go t.stages env input []
+
+let pfsms t = List.map (fun s -> s.pfsm) t.stages
+
+let secured t =
+  { t with stages = List.map (fun s -> { s with pfsm = Primitive.secured s.pfsm }) t.stages }
+
+let secured_only t ~pfsm_name =
+  let fix s =
+    if s.pfsm.Primitive.name = pfsm_name then { s with pfsm = Primitive.secured s.pfsm }
+    else s
+  in
+  { t with stages = List.map fix t.stages }

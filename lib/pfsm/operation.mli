@@ -1,0 +1,54 @@
+(** An operation on an object: a series of pFSMs (Observation 2).
+
+    The object enters the first pFSM; each accepting transition may
+    transform it and record facts in the environment (the figures'
+    [Condition ♦ Action] labels), and the last acceptance applies the
+    operation itself, whose consequence feeds the propagation gate. *)
+
+type stage = {
+  pfsm : Primitive.t;
+  action : Env.t -> Value.t -> Env.t * Value.t;
+      (** performed on the accepting transition *)
+  action_label : string;
+}
+
+type t = {
+  name : string;                (** e.g. "Write debug level i to tTvect[x]" *)
+  object_name : string;         (** the object manipulated *)
+  stages : stage list;
+  effect_label : string;        (** the propagation-gate consequence *)
+  effect_ : Env.t -> Env.t;     (** applied when the operation completes *)
+}
+
+val stage :
+  ?action:(Env.t -> Value.t -> Env.t * Value.t) ->
+  ?action_label:string ->
+  Primitive.t ->
+  stage
+(** Default action: identity. *)
+
+val make :
+  name:string ->
+  object_name:string ->
+  ?effect_label:string ->
+  ?effect_:(Env.t -> Env.t) ->
+  stage list ->
+  t
+
+type result = {
+  verdicts : (Primitive.t * Primitive.verdict) list;
+  completed : bool;             (** every pFSM accepted *)
+  env : Env.t;                  (** after actions and, if completed, the effect *)
+  obj : Value.t;                (** the object after transformations *)
+}
+
+val run : t -> env:Env.t -> input:Value.t -> result
+
+val pfsms : t -> Primitive.t list
+
+val secured : t -> t
+(** Every pFSM corrected to enforce its specification. *)
+
+val secured_only : t -> pfsm_name:string -> t
+(** Correct a single pFSM — "each elementary activity offers an
+    independent opportunity for checking". *)

@@ -1,0 +1,89 @@
+open Predicate
+
+let fold_cmp op a b =
+  let numeric = function Value.Int n -> Some n | Value.Addr a -> Some a | _ -> None in
+  match a, b with
+  | Lit va, Lit vb -> (
+      match numeric va, numeric vb with
+      | Some x, Some y ->
+          let result =
+            match op with
+            | Le -> x <= y
+            | Lt -> x < y
+            | Eq -> x = y
+            | Ne -> x <> y
+            | Ge -> x >= y
+            | Gt -> x > y
+          in
+          Some (if result then True else False)
+      | _, _ -> None)
+  | _, _ -> None
+
+let rec step p =
+  match p with
+  | True | False | Env_flag _ -> p
+  | Not q -> (
+      match step q with
+      | True -> False
+      | False -> True
+      | Not r -> r
+      | q' -> Not q')
+  | And (a, b) -> (
+      match step a, step b with
+      | True, b' -> b'
+      | a', True -> a'
+      | False, _ | _, False -> False
+      | a', b' -> And (a', b'))
+  | Or (a, b) -> (
+      match step a, step b with
+      | False, b' -> b'
+      | a', False -> a'
+      | True, _ | _, True -> True
+      | a', b' -> Or (a', b'))
+  | Cmp (op, a, b) -> (
+      match fold_cmp op a b with
+      | Some folded -> folded
+      | None -> p)
+  | Str_eq (Lit (Value.Str x), Lit (Value.Str y)) ->
+      if String.equal x y then True else False
+  | Str_eq _ -> p
+  | Contains (_, "") -> True
+  | Contains (Lit (Value.Str s), needle) ->
+      let nh = String.length s and nn = String.length needle in
+      let rec at i = i + nn <= nh && (String.sub s i nn = needle || at (i + 1)) in
+      if at 0 then True else False
+  | Contains _ -> p
+  | Contains_any (_, []) -> False
+  | Contains_any (t, [ needle ]) -> step (Contains (t, needle))
+  | Contains_any _ -> p
+  | Fits_int32 (Lit (Value.Int n)) -> if Strcodec.fits_int32 n then True else False
+  | Fits_int32 _ -> p
+  | Is_format_free (Lit (Value.Str s)) ->
+      if Strcodec.contains_format_directive s then False else True
+  | Is_format_free _ -> p
+
+let rec simplify p =
+  let p' = step p in
+  if p' = p then p else simplify p'
+
+let refines_on candidates ~original ~simplified =
+  List.for_all
+    (fun (env, self) ->
+       match holds_safely ~env ~self original, holds_safely ~env ~self simplified with
+       | Some a, Some b -> a = b
+       | None, _ -> true
+       | Some _, None -> false)
+    candidates
+
+let rec size = function
+  | True | False | Env_flag _ -> 1
+  | Not p -> 1 + size p
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Cmp (_, a, b) -> 1 + term_size a + term_size b
+  | Str_eq (a, b) -> 1 + term_size a + term_size b
+  | Contains (t, _) | Contains_any (t, _) | Fits_int32 t | Is_format_free t ->
+      1 + term_size t
+
+and term_size = function
+  | Self | Env_val _ | Lit _ -> 1
+  | Length t | Decode (_, t) -> 1 + term_size t

@@ -1,0 +1,29 @@
+(** Predicate simplification.
+
+    Models assembled programmatically (or parsed from user input)
+    accumulate trivialities — [And (True, p)], double negations,
+    constant comparisons.  [simplify] normalises them, preserving
+    semantics on every object/environment (property-tested), so that
+    rendered figures and Dot labels stay readable and [no_check]
+    detection sees through wrappings like [And (True, True)]. *)
+
+val simplify : Predicate.t -> Predicate.t
+(** Fixpoint of the rewrite rules:
+    - [!!p → p], [!true → false], [!false → true]
+    - [true && p → p], [false && p → false] (and symmetric)
+    - [false || p → p], [true || p → true] (and symmetric)
+    - constant comparisons on literals are folded
+    - [contains(t, "")] → [true]
+    - [contains_any] with an empty list → [false], with one needle →
+      [contains] *)
+
+val refines_on :
+  (Env.t * Value.t) list -> original:Predicate.t -> simplified:Predicate.t -> bool
+(** Preservation oracle: wherever the original evaluates, the
+    simplified predicate evaluates to the same boolean.  (The
+    simplified form may be {e more} defined — e.g.
+    [And (False, ill_typed)] folds to [False], turning an evaluation
+    error into a clean rejection.) *)
+
+val size : Predicate.t -> int
+(** Number of AST nodes (simplification never increases it). *)

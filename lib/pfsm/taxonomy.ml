@@ -1,0 +1,24 @@
+type kind =
+  | Object_type_check
+  | Content_attribute_check
+  | Reference_consistency_check
+
+let all = [ Object_type_check; Content_attribute_check; Reference_consistency_check ]
+
+let to_string = function
+  | Object_type_check -> "Object Type Check"
+  | Content_attribute_check -> "Content and Attribute Check"
+  | Reference_consistency_check -> "Reference Consistency Check"
+
+let description = function
+  | Object_type_check ->
+      "verify whether the input object is of the type that the operation is defined on"
+  | Content_attribute_check ->
+      "verify whether the content and the attributes of the object meet the security guarantee"
+  | Reference_consistency_check ->
+      "verify whether the binding between an object and its reference is preserved from \
+       check time to use time"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let equal (a : kind) b = a = b

@@ -1,0 +1,27 @@
+(** The three generic pFSM types of Section 6 / Figure 8.
+
+    The paper's finding: these three predicates suffice to model all
+    the studied vulnerability classes (stack buffer overflow, integer
+    overflow, heap overflow, input validation, format string). *)
+
+type kind =
+  | Object_type_check
+      (** is the input object of the type the operation is defined
+          on? (integer vs long integer, terminal vs regular file) *)
+  | Content_attribute_check
+      (** do the object's content and attributes meet the security
+          guarantee? (no "../", length within bounds, no %n) *)
+  | Reference_consistency_check
+      (** is the binding between an object and its reference
+          preserved from check time to use time? (return address,
+          GOT entry, free-chunk links, filename binding) *)
+
+val all : kind list
+
+val to_string : kind -> string
+
+val description : kind -> string
+
+val pp : Format.formatter -> kind -> unit
+
+val equal : kind -> kind -> bool

@@ -1,0 +1,35 @@
+type step = {
+  operation : string;
+  pfsm : Primitive.t;
+  verdict : Primitive.verdict;
+}
+
+type t = {
+  model : string;
+  steps : step list;
+  completed : bool;
+  stopped_at : (string * string) option;
+  final_env : Env.t;
+}
+
+let hidden_steps t = List.filter (fun s -> s.verdict.Primitive.hidden) t.steps
+
+let hidden_count t = List.length (hidden_steps t)
+
+let exploited t = t.completed && hidden_count t > 0
+
+let foiled t = not t.completed
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace of %s:@," t.model;
+  List.iter
+    (fun s ->
+       Format.fprintf ppf "  [%s] %s: %a@," s.operation s.pfsm.Primitive.name
+         Primitive.pp_verdict s.verdict)
+    t.steps;
+  (match t.stopped_at with
+   | Some (op, pfsm) -> Format.fprintf ppf "  FOILED at %s / %s@," op pfsm
+   | None ->
+       Format.fprintf ppf "  completed%s@,"
+         (if hidden_count t > 0 then " via hidden path(s) -- EXPLOITED" else " (benign)"));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** The record of running an attack scenario through a model. *)
+
+type step = {
+  operation : string;
+  pfsm : Primitive.t;
+  verdict : Primitive.verdict;
+}
+
+type t = {
+  model : string;
+  steps : step list;
+  completed : bool;
+      (** every operation in the cascade completed *)
+  stopped_at : (string * string) option;
+      (** (operation, pfsm) where the scenario was rejected *)
+  final_env : Env.t;
+}
+
+val hidden_steps : t -> step list
+
+val hidden_count : t -> int
+
+val exploited : t -> bool
+(** The scenario traversed the whole cascade {e and} needed at least
+    one hidden IMPL_ACPT transition to do so — i.e. the model says
+    the implementation lets a spec-violating exploit through. *)
+
+val foiled : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type domain =
+  | Int_range of { low : int; high : int }
+  | Int_edges
+  | Strings of string list
+  | Alphabet_strings of { alphabet : string; max_len : int }
+
+type result =
+  | Verified of { candidates : int }
+  | Refuted of { witness : Value.t; candidates_tried : int }
+  | Domain_too_large of { bound : int }
+
+let max_candidates = 100_000
+
+let int_edges =
+  let around v = [ v - 1; v; v + 1 ] in
+  List.concat_map around
+    [ 0; 100; 1024; 0x7fff_ffff; -0x8000_0000; 0x8000_0000; -1024 ]
+
+let rec alphabet_count ~k ~max_len =
+  if max_len < 0 then 0
+  else if max_len = 0 then 1
+  else 1 + (k * alphabet_count ~k ~max_len:(max_len - 1))
+
+let size = function
+  | Int_range { low; high } -> max 0 (high - low + 1)
+  | Int_edges -> List.length int_edges
+  | Strings l -> List.length l
+  | Alphabet_strings { alphabet; max_len } ->
+      alphabet_count ~k:(String.length alphabet) ~max_len
+
+let enumerate = function
+  | Int_range { low; high } ->
+      List.init (max 0 (high - low + 1)) (fun i -> Value.Int (low + i))
+  | Int_edges -> List.map (fun v -> Value.Int v) int_edges
+  | Strings l -> List.map (fun s -> Value.Str s) l
+  | Alphabet_strings { alphabet; max_len } ->
+      let letters = List.init (String.length alphabet) (String.get alphabet) in
+      let rec level acc current n =
+        if n = 0 then List.rev_append current acc
+        else
+          let next =
+            List.concat_map
+              (fun s -> List.map (fun c -> s ^ String.make 1 c) letters)
+              current
+          in
+          level (List.rev_append current acc) next (n - 1)
+      in
+      List.map (fun s -> Value.Str s) (level [] [ "" ] max_len)
+
+let verify ?(env = Env.empty) pfsm domain =
+  let bound = size domain in
+  if bound > max_candidates then Domain_too_large { bound }
+  else
+    let candidates = enumerate domain in
+    let hidden self =
+      match
+        ( Predicate.holds_safely ~env ~self pfsm.Primitive.impl,
+          Predicate.holds_safely ~env ~self pfsm.Primitive.spec )
+      with
+      | Some true, Some false -> true
+      | (Some _ | None), (Some _ | None) -> false
+    in
+    match List.find_opt hidden candidates with
+    | Some witness -> Refuted { witness; candidates_tried = List.length candidates }
+    | None -> Verified { candidates = List.length candidates }
+
+let verify_secured ?(env = Env.empty) pfsm domain =
+  match verify ~env (Primitive.secured pfsm) domain with
+  | Verified _ -> true
+  | Refuted _ | Domain_too_large _ -> false
+
+let pp_result ppf = function
+  | Verified { candidates } ->
+      Format.fprintf ppf "VERIFIED: impl => spec on all %d candidates" candidates
+  | Refuted { witness; candidates_tried } ->
+      Format.fprintf ppf "REFUTED: hidden path on %a (after %d candidates)" Value.pp
+        witness candidates_tried
+  | Domain_too_large { bound } ->
+      Format.fprintf ppf "domain too large (%d > %d)" bound max_candidates

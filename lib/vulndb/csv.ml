@@ -1,0 +1,42 @@
+let field_count = 9
+
+let header = "id,title,date,category,software,range,flaw,synthetic,description"
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+         if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let of_report (r : Report.t) =
+  String.concat ","
+    [ string_of_int r.Report.id;
+      escape r.Report.title;
+      r.Report.date;
+      escape (Category.to_string r.Report.category);
+      escape r.Report.software;
+      Report.range_to_string r.Report.range;
+      escape (Report.flaw_to_string r.Report.flaw);
+      string_of_bool r.Report.synthetic;
+      escape r.Report.description ]
+
+let of_database db =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+       Buffer.add_string b (of_report r);
+       Buffer.add_char b '\n')
+    (Database.reports db);
+  Buffer.contents b

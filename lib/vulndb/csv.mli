@@ -1,0 +1,15 @@
+(** CSV export of the database (RFC-4180 quoting), so the statistics
+    can be reproduced in external tooling. *)
+
+val header : string
+
+val of_report : Report.t -> string
+(** One CSV line (no trailing newline). *)
+
+val of_database : Database.t -> string
+(** Header plus one line per report, ascending by ID. *)
+
+val field_count : int
+
+val escape : string -> string
+(** Quote a field iff it contains a comma, quote or newline. *)

@@ -1,0 +1,34 @@
+type t = { table : (int, Report.t) Hashtbl.t }
+
+let empty () = { table = Hashtbl.create 1024 }
+
+let add t (r : Report.t) =
+  if Hashtbl.mem t.table r.Report.id then
+    invalid_arg (Printf.sprintf "Database.add: duplicate report id %d" r.Report.id);
+  Hashtbl.replace t.table r.Report.id r
+
+let of_reports rs =
+  let t = empty () in
+  List.iter (add t) rs;
+  t
+
+let find t id = Hashtbl.find_opt t.table id
+
+let find_exn t id =
+  match find t id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Database.find_exn: no report %d" id)
+
+let size t = Hashtbl.length t.table
+
+let reports t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun (a : Report.t) b -> compare a.Report.id b.Report.id)
+
+let filter t p = List.filter p (reports t)
+
+let by_category t c = filter t (fun r -> Category.equal r.Report.category c)
+
+let count t p = Hashtbl.fold (fun _ r acc -> if p r then acc + 1 else acc) t.table 0
+
+let curated t = filter t (fun r -> not r.Report.synthetic)

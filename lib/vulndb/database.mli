@@ -1,0 +1,28 @@
+(** A queryable store of vulnerability reports. *)
+
+type t
+
+val empty : unit -> t
+
+val of_reports : Report.t list -> t
+
+val add : t -> Report.t -> unit
+(** Raises [Invalid_argument] on a duplicate ID. *)
+
+val find : t -> int -> Report.t option
+
+val find_exn : t -> int -> Report.t
+
+val size : t -> int
+
+val reports : t -> Report.t list
+(** All reports, ascending by ID. *)
+
+val by_category : t -> Category.t -> Report.t list
+
+val filter : t -> (Report.t -> bool) -> Report.t list
+
+val count : t -> (Report.t -> bool) -> int
+
+val curated : t -> Report.t list
+(** The non-synthetic reports. *)

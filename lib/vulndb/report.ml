@@ -1,0 +1,51 @@
+type range = Remote | Local | Both
+
+type flaw =
+  | Stack_buffer_overflow
+  | Heap_overflow
+  | Integer_overflow
+  | Format_string
+  | File_race
+  | Path_traversal
+  | Other_flaw
+
+type t = {
+  id : int;
+  title : string;
+  date : string;
+  category : Category.t;
+  software : string;
+  range : range;
+  flaw : flaw;
+  elementary_activity : string option;
+  description : string;
+  synthetic : bool;
+}
+
+let make ~id ~title ~date ~category ~software ?(range = Remote) ?(flaw = Other_flaw)
+    ?elementary_activity ?(description = "") ?(synthetic = false) () =
+  { id; title; date; category; software; range; flaw; elementary_activity;
+    description; synthetic }
+
+let studied_family = function
+  | Stack_buffer_overflow | Heap_overflow | Integer_overflow | Format_string | File_race ->
+      true
+  | Path_traversal | Other_flaw -> false
+
+let range_to_string = function
+  | Remote -> "remote"
+  | Local -> "local"
+  | Both -> "remote+local"
+
+let flaw_to_string = function
+  | Stack_buffer_overflow -> "stack buffer overflow"
+  | Heap_overflow -> "heap overflow"
+  | Integer_overflow -> "integer overflow"
+  | Format_string -> "format string"
+  | File_race -> "file race condition"
+  | Path_traversal -> "path traversal"
+  | Other_flaw -> "other"
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %s [%s] (%s, %s)" t.id t.title
+    (Category.to_string t.category) t.software (range_to_string t.range)

@@ -1,0 +1,55 @@
+(** One vulnerability report, after the fields of a Bugtraq entry the
+    paper relies on (Section 3.1): ID, title, date, category, the
+    affected software, and — for the reports the paper analyses in
+    depth — the elementary activity the category was assigned
+    against, plus the underlying flaw mechanism used for the studied-
+    family statistics. *)
+
+type range = Remote | Local | Both
+
+type flaw =
+  | Stack_buffer_overflow
+  | Heap_overflow
+  | Integer_overflow
+  | Format_string
+  | File_race
+  | Path_traversal
+  | Other_flaw
+
+type t = {
+  id : int;
+  title : string;
+  date : string;                       (** YYYY-MM-DD *)
+  category : Category.t;
+  software : string;
+  range : range;
+  flaw : flaw;
+  elementary_activity : string option; (** the analyst's reference point *)
+  description : string;
+  synthetic : bool;                    (** generated, not curated *)
+}
+
+val make :
+  id:int ->
+  title:string ->
+  date:string ->
+  category:Category.t ->
+  software:string ->
+  ?range:range ->
+  ?flaw:flaw ->
+  ?elementary_activity:string ->
+  ?description:string ->
+  ?synthetic:bool ->
+  unit ->
+  t
+
+val studied_family : flaw -> bool
+(** Membership in the family the paper models: buffer overflow (stack
+    and heap), signed integer overflow, format string, file race —
+    the 22% claim of the introduction. *)
+
+val range_to_string : range -> string
+
+val flaw_to_string : flaw -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+let xterm_id = 900001
+
+let rwall_id = 900002
+
+let r = Report.make
+
+let reports =
+  [ r ~id:3163 ~title:"Sendmail Debugging Function Signed Integer Overflow Vulnerability"
+      ~date:"2001-08-17" ~category:Category.Input_validation_error ~software:"Sendmail"
+      ~range:Report.Local ~flaw:Report.Integer_overflow
+      ~elementary_activity:"Get an input integer"
+      ~description:
+        "A negative input integer accepted as an array index; tTvect[x] write in tTflag() \
+         underflows the array and can rewrite the GOT entry of setuid()."
+      ();
+    r ~id:5493 ~title:"FreeBSD System Call Signed Integer Buffer Overflow Vulnerability"
+      ~date:"2002-08-12" ~category:Category.Boundary_condition_error ~software:"FreeBSD"
+      ~range:Report.Local ~flaw:Report.Integer_overflow
+      ~elementary_activity:"Use the integer as the index to an array"
+      ~description:
+        "A negative value supplied for the argument allows exceeding the boundary of an \
+         array."
+      ();
+    r ~id:3958 ~title:"rsync Signed Array Index Remote Code Execution Vulnerability"
+      ~date:"2002-01-24" ~category:Category.Access_validation_error ~software:"rsync"
+      ~flaw:Report.Integer_overflow
+      ~elementary_activity:"Execute a code referred by a function pointer or a return address"
+      ~description:
+        "A remotely supplied signed value used as an array index, allowing the corruption \
+         of a function pointer or a return address."
+      ();
+    r ~id:6157 ~title:"Buffer overflow reported against the input-reading path"
+      ~date:"2002-11-01" ~category:Category.Input_validation_error ~software:"(unnamed server)"
+      ~flaw:Report.Stack_buffer_overflow
+      ~elementary_activity:"Get input string"
+      ~description:"Cited by the paper as a buffer overflow classified at activity 1."
+      ();
+    r ~id:5960 ~title:"GHTTPD Log() Function Buffer Overflow Vulnerability"
+      ~date:"2002-10-28" ~category:Category.Boundary_condition_error ~software:"GHTTPD"
+      ~flaw:Report.Stack_buffer_overflow
+      ~elementary_activity:"Copy the string to a buffer"
+      ~description:
+        "A 200-byte stack buffer in Log() is overflowed by an oversized request, \
+         overwriting the saved return address."
+      ();
+    r ~id:4479 ~title:"Buffer overflow reported against post-buffer data handling"
+      ~date:"2002-04-10"
+      ~category:Category.Failure_to_handle_exceptional_conditions
+      ~software:"(unnamed server)" ~flaw:Report.Stack_buffer_overflow
+      ~elementary_activity:"Handle data (e.g. return address) following the buffer"
+      ~description:"Cited by the paper as a buffer overflow classified at activity 3."
+      ();
+    r ~id:1387 ~title:"Wu-Ftpd Remote Format String Stack Overwrite Vulnerability"
+      ~date:"2000-06-22" ~category:Category.Input_validation_error ~software:"wu-ftpd"
+      ~flaw:Report.Format_string
+      ~elementary_activity:"Get input string"
+      ~description:"SITE EXEC input containing format directives reaches *printf." ();
+    r ~id:2210 ~title:"Splitvt Format String Vulnerability"
+      ~date:"2001-01-09" ~category:Category.Access_validation_error ~software:"splitvt"
+      ~range:Report.Local ~flaw:Report.Format_string
+      ~elementary_activity:"Use the string as a format argument"
+      ~description:"Format directives in arguments reach a logging printf." ();
+    r ~id:2264 ~title:"Icecast Print_Client() Format String Vulnerability"
+      ~date:"2001-01-29" ~category:Category.Boundary_condition_error ~software:"icecast"
+      ~flaw:Report.Format_string
+      ~elementary_activity:"Write formatted output to a buffer"
+      ~description:"print_client() passes client data as the format string." ();
+    r ~id:5774 ~title:"Null HTTPD Remote Heap Overflow Vulnerability"
+      ~date:"2002-09-23" ~category:Category.Boundary_condition_error ~software:"Null HTTPD 0.5"
+      ~flaw:Report.Heap_overflow
+      ~elementary_activity:"Copy the oversized user input to a heap buffer"
+      ~description:
+        "Negative Content-Length makes calloc(contentLen+1024) undersized while at least \
+         1024 bytes are copied, overflowing into the following free chunk."
+      ();
+    r ~id:6255 ~title:"Null HTTPD ReadPOSTData Remote Heap Overflow Vulnerability"
+      ~date:"2002-11-21" ~category:Category.Boundary_condition_error
+      ~software:"Null HTTPD 0.5.1" ~flaw:Report.Heap_overflow
+      ~elementary_activity:"Copy the string to a buffer"
+      ~description:
+        "Discovered by the paper's authors while constructing the FSM model of #5774: a \
+         logic error (|| instead of &&) in the recv loop of ReadPOSTData lets a correct \
+         contentLen with an oversized body overflow PostData."
+      ();
+    r ~id:1480 ~title:"Multiple Linux Vendor rpc.statd Remote Format String Vulnerability"
+      ~date:"2000-07-16" ~category:Category.Input_validation_error ~software:"rpc.statd"
+      ~flaw:Report.Format_string
+      ~elementary_activity:"Pass the filename to syslog as a format string"
+      ~description:"User-controlled data is used as the format argument of syslog()." ();
+    r ~id:2708 ~title:"Microsoft IIS CGI Filename Decode Error Vulnerability"
+      ~date:"2001-05-15" ~category:Category.Input_validation_error ~software:"Microsoft IIS"
+      ~flaw:Report.Path_traversal
+      ~elementary_activity:"Decode the filename after applying security checks"
+      ~description:
+        "IIS decodes the CGI filename a second time after the \"../\" check; \"..%252f\" \
+         escapes /wwwroot/scripts.  Actively exploited by the Nimda worm."
+      ();
+    r ~id:xterm_id ~title:"Xterm Log File Race Condition (CERT CA-1993-17)"
+      ~date:"1993-11-11" ~category:Category.Race_condition_error ~software:"xterm"
+      ~range:Report.Local ~flaw:Report.File_race
+      ~elementary_activity:"Open the log file after checking it"
+      ~description:
+        "Between xterm's access check on the user log file and the open, the user can \
+         replace the file with a symlink to /etc/passwd."
+      ();
+    r ~id:rwall_id ~title:"Solaris Rwall Arbitrary File Corruption (CERT CA-1994-06)"
+      ~date:"1994-03-03" ~category:Category.Access_validation_error ~software:"rwalld"
+      ~flaw:Report.Path_traversal
+      ~elementary_activity:"Write user message to the terminal or file"
+      ~description:
+        "World-writable /etc/utmp lets any user add \"../etc/passwd\"; rwalld writes the \
+         broadcast message to it without checking the file is a terminal."
+      () ]
+
+let table1 =
+  List.filter (fun (rep : Report.t) -> List.mem rep.Report.id [ 3163; 5493; 3958 ]) reports
+
+let database () = Database.of_reports reports

@@ -1,0 +1,19 @@
+(** The curated reports the paper analyses or cites.
+
+    IDs below 10000 are genuine Bugtraq IDs quoted in the paper.  The
+    two advisories that predate Bugtraq's numbering (the xterm log
+    race and the Solaris rwall corruption, known from CERT advisories)
+    carry IDs in the 900000 range so they cannot collide with either
+    real or synthetic IDs. *)
+
+val xterm_id : int
+
+val rwall_id : int
+
+val reports : Report.t list
+
+val table1 : Report.t list
+(** Exactly the three signed-integer-overflow reports of Table 1, in
+    the paper's order (#3163, #5493, #3958). *)
+
+val database : unit -> Database.t

@@ -1,0 +1,51 @@
+type row = {
+  category : Category.t;
+  count : int;
+  percent : float;
+  rounded : int;
+  paper_percent : int;
+}
+
+let breakdown db =
+  let total = float_of_int (Database.size db) in
+  let row category =
+    let count = List.length (Database.by_category db category) in
+    let percent = 100.0 *. float_of_int count /. total in
+    { category; count; percent;
+      rounded = int_of_float (Float.round percent);
+      paper_percent = Category.paper_percent category }
+  in
+  Category.all
+  |> List.map row
+  |> List.sort (fun a b -> compare b.count a.count)
+
+let matches_paper db =
+  List.for_all (fun r -> r.rounded = r.paper_percent) (breakdown db)
+
+let family_count db =
+  Database.count db (fun r -> Report.studied_family r.Report.flaw)
+
+let family_share db =
+  100.0 *. float_of_int (family_count db) /. float_of_int (Database.size db)
+
+let flaw_breakdown db =
+  let flaws =
+    [ Report.Stack_buffer_overflow; Report.Heap_overflow; Report.Integer_overflow;
+      Report.Format_string; Report.File_race; Report.Path_traversal; Report.Other_flaw ]
+  in
+  flaws
+  |> List.map (fun f -> (f, Database.count db (fun r -> r.Report.flaw = f)))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_breakdown ppf db =
+  Format.fprintf ppf "@[<v>%-44s %8s %8s %8s@," "category" "count" "ours%" "paper%";
+  List.iter
+    (fun r ->
+       Format.fprintf ppf "%-44s %8d %7.1f%% %7d%%@,"
+         (Category.to_string r.category) r.count r.percent r.paper_percent)
+    (breakdown db);
+  Format.fprintf ppf "%-44s %8d@," "total" (Database.size db);
+  Format.fprintf ppf "studied family (overflow/integer/format/race): %d reports = %.1f%% \
+                      (paper: 22%%)@,"
+    (family_count db) (family_share db);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** The statistics engine behind Figure 1 and the 22% claim. *)
+
+type row = {
+  category : Category.t;
+  count : int;
+  percent : float;
+  rounded : int;
+  paper_percent : int;
+}
+
+val breakdown : Database.t -> row list
+(** All twelve categories, descending by count. *)
+
+val matches_paper : Database.t -> bool
+(** Every category's rounded share equals Figure 1's. *)
+
+val family_count : Database.t -> int
+(** Reports in the studied family (buffer/heap/integer/format/race). *)
+
+val family_share : Database.t -> float
+(** Their share of the database — the paper reports 22%. *)
+
+val flaw_breakdown : Database.t -> (Report.flaw * int) list
+(** Descending by count. *)
+
+val pp_breakdown : Format.formatter -> Database.t -> unit
+(** Figure 1 as a console table: ours vs the paper's percentages. *)

@@ -1,0 +1,118 @@
+let synthetic_id_base = 100_000
+
+(* Flaw mechanism targets per category.  Family total:
+   700 + 150 + 60 + 50 + 250 + 100 = 1310 of 5925 = 22.1%, the
+   paper's "22% of all vulnerabilities". *)
+let flaw_quota = function
+  | Category.Boundary_condition_error ->
+      [ (Report.Stack_buffer_overflow, 700); (Report.Heap_overflow, 150);
+        (Report.Integer_overflow, 60) ]
+  | Category.Input_validation_error ->
+      [ (Report.Format_string, 250); (Report.Path_traversal, 300) ]
+  | Category.Failure_to_handle_exceptional_conditions ->
+      [ (Report.Integer_overflow, 50) ]
+  | Category.Race_condition_error -> [ (Report.File_race, 100) ]
+  | Category.Access_validation_error
+  | Category.Atomicity_error
+  | Category.Configuration_error
+  | Category.Design_error
+  | Category.Environment_error
+  | Category.Origin_validation_error
+  | Category.Serialization_error
+  | Category.Unknown -> []
+
+let software_pool =
+  [| "AcmeHTTPd"; "OpenLPD"; "MegaFTPd"; "QuickIMAPd"; "NetTelnetd"; "FastDNSd";
+     "ProxyCacheD"; "MailRelayd"; "WebCartPro"; "StatCGI"; "AuthGate"; "NewsSpool";
+     "PrintSrv"; "IRCore"; "TimeSyncd"; "DirIndexer"; "FormMailer"; "ChatServ";
+     "LogRotated"; "BackupMgr" |]
+
+let flaw_phrase = function
+  | Report.Stack_buffer_overflow -> "Buffer Overflow Vulnerability"
+  | Report.Heap_overflow -> "Heap Corruption Vulnerability"
+  | Report.Integer_overflow -> "Signed Integer Overflow Vulnerability"
+  | Report.Format_string -> "Format String Vulnerability"
+  | Report.File_race -> "Temporary File Race Condition Vulnerability"
+  | Report.Path_traversal -> "Directory Traversal Vulnerability"
+  | Report.Other_flaw -> "Vulnerability"
+
+let category_phrase c =
+  match c with
+  | Category.Access_validation_error -> "Access Validation"
+  | Category.Atomicity_error -> "Partial Update"
+  | Category.Boundary_condition_error -> "Boundary Condition"
+  | Category.Configuration_error -> "Default Configuration"
+  | Category.Design_error -> "Design"
+  | Category.Environment_error -> "Environment Interaction"
+  | Category.Failure_to_handle_exceptional_conditions -> "Exception Handling"
+  | Category.Input_validation_error -> "Input Validation"
+  | Category.Origin_validation_error -> "Origin Validation"
+  | Category.Race_condition_error -> "Race Condition"
+  | Category.Serialization_error -> "Serialization"
+  | Category.Unknown -> "Unspecified"
+
+let date_of rng =
+  Printf.sprintf "%04d-%02d-%02d"
+    (Prng.in_range rng ~low:1998 ~high:2002)
+    (Prng.in_range rng ~low:1 ~high:12)
+    (Prng.in_range rng ~low:1 ~high:28)
+
+let synth_report rng ~id ~category ~flaw =
+  let software =
+    Printf.sprintf "%s %d.%d" (Prng.pick rng software_pool)
+      (Prng.in_range rng ~low:0 ~high:4)
+      (Prng.in_range rng ~low:0 ~high:9)
+  in
+  let title =
+    Printf.sprintf "%s %s %s" software (category_phrase category) (flaw_phrase flaw)
+  in
+  let range =
+    match Prng.below rng 4 with
+    | 0 -> Report.Local
+    | 1 -> Report.Both
+    | _ -> Report.Remote
+  in
+  Report.make ~id ~title ~date:(date_of rng) ~category ~software ~range ~flaw
+    ~synthetic:true ()
+
+let generate ~seed =
+  let rng = Prng.create ~seed in
+  let db = Database.empty () in
+  List.iter (Database.add db) Seed_data.reports;
+  let next_id = ref synthetic_id_base in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let curated_in category flaw_opt =
+    List.length
+      (List.filter
+         (fun (rep : Report.t) ->
+            Category.equal rep.Report.category category
+            && (match flaw_opt with
+                | None -> true
+                | Some f -> rep.Report.flaw = f))
+         Seed_data.reports)
+  in
+  let emit category flaw n =
+    for _ = 1 to n do
+      Database.add db (synth_report rng ~id:(fresh_id ()) ~category ~flaw)
+    done
+  in
+  let fill category =
+    let target = Category.paper_count category in
+    let flaws = flaw_quota category in
+    let emitted =
+      List.fold_left
+        (fun acc (flaw, quota) ->
+           let n = max 0 (quota - curated_in category (Some flaw)) in
+           emit category flaw n;
+           acc + n)
+        0 flaws
+    in
+    let already = curated_in category None + emitted in
+    emit category Report.Other_flaw (max 0 (target - already))
+  in
+  List.iter fill Category.all;
+  db

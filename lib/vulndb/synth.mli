@@ -1,0 +1,20 @@
+(** Deterministic synthetic population of the database.
+
+    The paper's Figure 1 depends only on the per-category counts of
+    the 2002-11-30 Bugtraq snapshot, which {!Category.paper_count}
+    fixes.  [generate] embeds the curated reports and fills every
+    category up to its count with clearly-marked synthetic reports,
+    assigning flaw mechanisms so the studied family (stack/heap
+    overflow, integer overflow, format string, file race) lands at
+    the paper's 22% of the total. *)
+
+val generate : seed:int -> Database.t
+(** A 5925-report database; same seed, same database. *)
+
+val flaw_quota : Category.t -> (Report.flaw * int) list
+(** Target number of synthetic+curated reports of each non-[Other]
+    flaw inside a category. *)
+
+val synthetic_id_base : int
+(** All generated IDs are at or above this (100000), far from real
+    Bugtraq IDs of the era. *)

@@ -1,0 +1,216 @@
+(* Tests for the related-work baselines: the Ortalo-style Markov METF
+   chain and the Sheyner-style attack graph, both derived from pFSM
+   models. *)
+
+module M = Baselines.Markov
+module G = Baselines.Attack_graph
+
+(* ---- linear solver ------------------------------------------------ *)
+
+let test_solver_identity () =
+  match M.solve_linear [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] [| 3.0; 4.0 |] with
+  | Some x ->
+      Alcotest.(check (float 1e-9)) "x0" 3.0 x.(0);
+      Alcotest.(check (float 1e-9)) "x1" 4.0 x.(1)
+  | None -> Alcotest.fail "singular?"
+
+let test_solver_2x2 () =
+  (* 2x + y = 5; x - y = 1  =>  x = 2, y = 1 *)
+  match M.solve_linear [| [| 2.0; 1.0 |]; [| 1.0; -1.0 |] |] [| 5.0; 1.0 |] with
+  | Some x ->
+      Alcotest.(check (float 1e-9)) "x" 2.0 x.(0);
+      Alcotest.(check (float 1e-9)) "y" 1.0 x.(1)
+  | None -> Alcotest.fail "singular?"
+
+let test_solver_needs_pivoting () =
+  (* Zero pivot in the naive order. *)
+  match M.solve_linear [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] [| 7.0; 9.0 |] with
+  | Some x ->
+      Alcotest.(check (float 1e-9)) "x" 9.0 x.(0);
+      Alcotest.(check (float 1e-9)) "y" 7.0 x.(1)
+  | None -> Alcotest.fail "pivoting failed"
+
+let test_solver_singular () =
+  Alcotest.(check bool) "singular detected" true
+    (M.solve_linear [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |] [| 1.0; 2.0 |] = None)
+
+(* ---- Markov chains ------------------------------------------------ *)
+
+let test_metf_deterministic_chain () =
+  let t = M.create ~states:4 ~start:0 ~target:3 in
+  M.add_transition t ~src:0 ~dst:1 ~prob:1.0 ~effort:1.0;
+  M.add_transition t ~src:1 ~dst:2 ~prob:1.0 ~effort:1.0;
+  M.add_transition t ~src:2 ~dst:3 ~prob:1.0 ~effort:1.0;
+  match M.metf t with
+  | Some e -> Alcotest.(check (float 1e-9)) "3 steps" 3.0 e
+  | None -> Alcotest.fail "unreachable?"
+
+let test_metf_geometric_retry () =
+  (* One obstacle with success probability p: expected effort 1/p. *)
+  let t = M.create ~states:2 ~start:0 ~target:1 in
+  M.add_transition t ~src:0 ~dst:1 ~prob:0.25 ~effort:1.0;
+  M.normalize_with_self_loops t;
+  match M.metf t with
+  | Some e -> Alcotest.(check (float 1e-9)) "1/p" 4.0 e
+  | None -> Alcotest.fail "unreachable?"
+
+let test_metf_unreachable () =
+  let t = M.create ~states:3 ~start:0 ~target:2 in
+  M.add_transition t ~src:0 ~dst:1 ~prob:1.0 ~effort:1.0;
+  M.normalize_with_self_loops t;
+  Alcotest.(check bool) "infinite effort" true (M.metf t = None)
+
+let test_metf_of_sendmail () =
+  let app = Apps.Sendmail.setup () in
+  let model = Apps.Sendmail.model app in
+  let scenario = Apps.Sendmail.exploit_scenario app in
+  (match M.metf_of_model ~retry:0.2 model ~scenario with
+   | Some e ->
+       (* Three hidden obstacles at 1/0.2 each. *)
+       Alcotest.(check (float 1e-6)) "3/0.2" 15.0 e
+   | None -> Alcotest.fail "should be finite");
+  (* The lemma through Ortalo's metric: secure any operation and the
+     effort diverges. *)
+  List.iter
+    (fun op_name ->
+       Alcotest.(check bool) (op_name ^ " secured => infinite") true
+         (M.metf_of_model ~retry:0.2
+            (Pfsm.Model.secure_operation model ~op_name)
+            ~scenario
+          = None))
+    (Pfsm.Model.operation_names model)
+
+let test_metf_retry_monotone () =
+  let app = Apps.Sendmail.setup () in
+  let model = Apps.Sendmail.model app in
+  let scenario = Apps.Sendmail.exploit_scenario app in
+  let effort retry =
+    match M.metf_of_model ~retry model ~scenario with
+    | Some e -> e
+    | None -> Float.infinity
+  in
+  Alcotest.(check bool) "harder obstacles cost more" true
+    (effort 0.1 > effort 0.5 && effort 0.5 > effort 0.9)
+
+let prop_metf_closed_form =
+  let open QCheck in
+  Test.make ~name:"markov: chain of k obstacles costs k/p" ~count:100
+    (pair (int_range 1 8) (int_range 1 99))
+    (fun (k, percent) ->
+       let p = float_of_int percent /. 100.0 in
+       let t = M.create ~states:(k + 1) ~start:0 ~target:k in
+       for i = 0 to k - 1 do
+         M.add_transition t ~src:i ~dst:(i + 1) ~prob:p ~effort:1.0
+       done;
+       M.normalize_with_self_loops t;
+       match M.metf t with
+       | Some e -> Float.abs (e -. (float_of_int k /. p)) < 1e-6
+       | None -> false)
+
+(* ---- attack graphs ------------------------------------------------ *)
+
+let sendmail_graph () =
+  let app = Apps.Sendmail.setup () in
+  let model = Apps.Sendmail.model app in
+  let report =
+    Pfsm.Analysis.analyze model
+      ~scenarios:[ Apps.Sendmail.exploit_scenario app; Apps.Sendmail.benign_scenario ]
+  in
+  G.of_report report
+
+let test_graph_reachability () =
+  let g = sendmail_graph () in
+  Alcotest.(check bool) "compromised reachable" true (G.exploit_reachable g);
+  Alcotest.(check bool) "has hidden edges" true (G.hidden_edges g <> [])
+
+let test_graph_paths_end_compromised () =
+  let g = sendmail_graph () in
+  let paths = G.attack_paths g ~max_paths:50 in
+  Alcotest.(check bool) "at least one path" true (paths <> []);
+  List.iter
+    (fun path ->
+       match List.rev path with
+       | G.Compromised :: _ -> ()
+       | _ -> Alcotest.fail "path does not end compromised")
+    paths
+
+let test_graph_min_cut_is_single_edge () =
+  let g = sendmail_graph () in
+  (match G.min_hidden_cut g with
+   | Some [ e ] ->
+       Alcotest.(check bool) "cut edge is hidden" true (e.G.kind = G.Hidden_step)
+   | Some cut ->
+       Alcotest.fail (Printf.sprintf "cut size %d, expected 1" (List.length cut))
+   | None -> Alcotest.fail "no cut");
+  Alcotest.(check bool) "agrees with lemma" true (G.agrees_with_lemma g)
+
+let test_graph_secured_model_not_reachable () =
+  let app = Apps.Sendmail.setup () in
+  let model = Pfsm.Model.secure_all (Apps.Sendmail.model app) in
+  let report =
+    Pfsm.Analysis.analyze model ~scenarios:[ Apps.Sendmail.exploit_scenario app ]
+  in
+  let g = G.of_report report in
+  Alcotest.(check bool) "not reachable" false (G.exploit_reachable g);
+  Alcotest.(check bool) "cut is None" true (G.min_hidden_cut g = None);
+  Alcotest.(check bool) "lemma vacuous" true (G.agrees_with_lemma g)
+
+let test_graph_all_apps_agree_with_lemma () =
+  let graphs =
+    [ (let app = Apps.Nullhttpd.setup ~config:Apps.Nullhttpd.v0_5_1 () in
+       let cl, body = Exploit.Attack.nullhttpd_6255 app in
+       Pfsm.Analysis.analyze (Apps.Nullhttpd.model app)
+         ~scenarios:[ Apps.Nullhttpd.scenario ~content_len:cl ~body ]);
+      Pfsm.Analysis.analyze (Apps.Xterm.model ())
+        ~scenarios:[ Apps.Xterm.race_scenario ];
+      (let app = Apps.Rwall.setup () in
+       Pfsm.Analysis.analyze (Apps.Rwall.model app)
+         ~scenarios:[ Apps.Rwall.attack_scenario ]);
+      (let app = Apps.Iis.setup () in
+       Pfsm.Analysis.analyze (Apps.Iis.model app)
+         ~scenarios:[ Apps.Iis.scenario ~path:Exploit.Attack.iis_path ]) ]
+  in
+  List.iteri
+    (fun i report ->
+       let g = G.of_report report in
+       Alcotest.(check bool) (Printf.sprintf "graph %d reachable" i) true
+         (G.exploit_reachable g);
+       Alcotest.(check bool) (Printf.sprintf "graph %d lemma" i) true
+         (G.agrees_with_lemma g))
+    graphs
+
+let test_graph_dot_export () =
+  let dot = G.to_dot (sendmail_graph ()) in
+  let contains ~needle h =
+    let nh = String.length h and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub h i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "digraph" true (contains ~needle:"digraph" dot);
+  Alcotest.(check bool) "hidden styling" true (contains ~needle:"style=dotted" dot);
+  Alcotest.(check bool) "compromised node" true (contains ~needle:"COMPROMISED" dot)
+
+let () =
+  Alcotest.run "baselines"
+    [ ("linear solver",
+       [ Alcotest.test_case "identity" `Quick test_solver_identity;
+         Alcotest.test_case "2x2" `Quick test_solver_2x2;
+         Alcotest.test_case "pivoting" `Quick test_solver_needs_pivoting;
+         Alcotest.test_case "singular" `Quick test_solver_singular ]);
+      ("markov / METF",
+       [ Alcotest.test_case "deterministic chain" `Quick test_metf_deterministic_chain;
+         Alcotest.test_case "geometric retry" `Quick test_metf_geometric_retry;
+         Alcotest.test_case "unreachable" `Quick test_metf_unreachable;
+         Alcotest.test_case "sendmail METF" `Quick test_metf_of_sendmail;
+         Alcotest.test_case "retry monotone" `Quick test_metf_retry_monotone;
+         QCheck_alcotest.to_alcotest prop_metf_closed_form ]);
+      ("attack graph",
+       [ Alcotest.test_case "reachability" `Quick test_graph_reachability;
+         Alcotest.test_case "paths end compromised" `Quick
+           test_graph_paths_end_compromised;
+         Alcotest.test_case "min cut = 1" `Quick test_graph_min_cut_is_single_edge;
+         Alcotest.test_case "secured unreachable" `Quick
+           test_graph_secured_model_not_reachable;
+         Alcotest.test_case "all apps agree with lemma" `Quick
+           test_graph_all_apps_agree_with_lemma;
+         Alcotest.test_case "dot export" `Quick test_graph_dot_export ]) ]

@@ -1,0 +1,162 @@
+(* Tests for the discovery engine: candidate generation, model-level
+   hidden-path search, and the differential rediscovery of #6255. *)
+
+module V = Pfsm.Value
+module E = Pfsm.Env
+
+(* ---- domain generation ------------------------------------------- *)
+
+let test_boundary_ints_cover_the_classics () =
+  List.iter
+    (fun v ->
+       Alcotest.(check bool) (string_of_int v) true
+         (List.mem v Discovery.Domain_gen.boundary_ints))
+    [ 0; -1; 100; 101; 0x7fffffff; 0x80000000; -800 ]
+
+let test_int_candidates_deterministic () =
+  Alcotest.(check (list int)) "seeded"
+    (Discovery.Domain_gen.int_candidates ~seed:5 ~n:10)
+    (Discovery.Domain_gen.int_candidates ~seed:5 ~n:10)
+
+let test_length_strings_cluster () =
+  let ss = Discovery.Domain_gen.length_strings ~seed:1 ~n:5 ~around:200 in
+  List.iter
+    (fun len ->
+       Alcotest.(check bool) (string_of_int len) true
+         (List.exists (fun s -> String.length s = len) ss))
+    [ 0; 199; 200; 201 ]
+
+let test_traversal_and_format_strings () =
+  Alcotest.(check bool) "..%252f present" true
+    (List.exists
+       (fun s -> Pfsm.Strcodec.percent_decode_n 2 s <> Pfsm.Strcodec.percent_decode s)
+       Discovery.Domain_gen.traversal_strings);
+  Alcotest.(check bool) "%n present" true
+    (List.exists Pfsm.Strcodec.contains_format_directive
+       Discovery.Domain_gen.format_strings)
+
+let test_scenario_product () =
+  let envs =
+    Discovery.Domain_gen.scenario_product
+      [ ("a", [ V.Int 1; V.Int 2 ]); ("b", [ V.Str "x"; V.Str "y"; V.Str "z" ]) ]
+  in
+  Alcotest.(check int) "2 x 3" 6 (List.length envs);
+  Alcotest.(check bool) "all complete" true
+    (List.for_all (fun env -> E.mem "a" env && E.mem "b" env) envs)
+
+(* ---- model-level search ------------------------------------------ *)
+
+let test_search_finds_sendmail_hidden_paths () =
+  let app = Apps.Sendmail.setup () in
+  let model = Apps.Sendmail.model app in
+  (* Generated scenarios: decimal strings around the int32 boundary. *)
+  let scenarios =
+    List.map
+      (fun s -> Apps.Sendmail.scenario ~str_x:s ~str_i:"7")
+      (Discovery.Domain_gen.int_strings ~seed:9 ~n:20)
+  in
+  let hits = Discovery.Search.hidden_paths model ~scenarios in
+  let sites =
+    List.sort_uniq compare
+      (List.map (fun h -> h.Discovery.Search.pfsm.Pfsm.Primitive.name) hits)
+  in
+  Alcotest.(check bool) "pFSM1 found" true (List.mem "pFSM1" sites);
+  Alcotest.(check bool) "pFSM2 found" true (List.mem "pFSM2" sites)
+
+let test_search_clean_on_secured_model () =
+  let app = Apps.Sendmail.setup () in
+  let model = Pfsm.Model.secure_all (Apps.Sendmail.model app) in
+  let scenarios =
+    List.map
+      (fun s -> Apps.Sendmail.scenario ~str_x:s ~str_i:"7")
+      (Discovery.Domain_gen.int_strings ~seed:9 ~n:20)
+  in
+  Alcotest.(check int) "no hits" 0
+    (List.length (Discovery.Search.hidden_paths model ~scenarios))
+
+let test_search_iis_traversal_domain () =
+  let app = Apps.Iis.setup () in
+  let model = Apps.Iis.model app in
+  let scenarios =
+    List.map (fun p -> Apps.Iis.scenario ~path:p) Discovery.Domain_gen.traversal_strings
+  in
+  let findings = Discovery.Search.discover model ~scenarios in
+  Alcotest.(check bool) "the double-decode hole found" true (List.length findings >= 1);
+  let f = List.hd findings in
+  Alcotest.(check bool) "finding names the predicate" true
+    (String.length f.Discovery.Finding.violated_predicate > 0)
+
+(* ---- differential rediscovery of #6255 --------------------------- *)
+
+let test_rediscover_6255 () =
+  match Discovery.Differential.rediscover_6255 () with
+  | Some f ->
+      Alcotest.(check string) "against 0.5.1" "Null HTTPD 0.5.1" f.Discovery.Finding.app;
+      Alcotest.(check bool) "critical" true
+        (f.Discovery.Finding.severity = Discovery.Finding.Critical)
+  | None -> Alcotest.fail "#6255 not rediscovered"
+
+let test_sweep_divergences_only_above_buffer () =
+  let cases =
+    Discovery.Differential.nullhttpd_sweep ~config:Apps.Nullhttpd.v0_5_1 ()
+  in
+  Alcotest.(check bool) "sweep is non-trivial" true (List.length cases >= 20);
+  List.iter
+    (fun c ->
+       if c.Discovery.Differential.spec_holds then
+         Alcotest.(check bool)
+           (c.Discovery.Differential.input_desc ^ " spec-ok never diverges")
+           false c.Discovery.Differential.divergent)
+    cases;
+  Alcotest.(check bool) "at least one divergence" true
+    (List.exists (fun c -> c.Discovery.Differential.divergent) cases)
+
+let test_confirm_fix () =
+  Alcotest.(check bool) "fixed build has no divergence" true
+    (Discovery.Differential.confirm_fix ())
+
+let test_v0_5_diverges_even_more () =
+  (* v0.5 also accepts negative contentLen: the sweep must flag it. *)
+  let cases =
+    Discovery.Differential.nullhttpd_sweep ~config:Apps.Nullhttpd.vulnerable_v0_5 ()
+  in
+  Alcotest.(check bool) "divergences found" true
+    (List.exists (fun c -> c.Discovery.Differential.divergent) cases)
+
+let test_finding_report_text () =
+  match Discovery.Differential.rediscover_6255 () with
+  | None -> Alcotest.fail "no finding"
+  | Some f ->
+      let text = Discovery.Finding.to_report f in
+      List.iter
+        (fun needle ->
+           let contains =
+             let nh = String.length text and nn = String.length needle in
+             let rec at i = i + nn <= nh && (String.sub text i nn = needle || at (i + 1)) in
+             at 0
+           in
+           Alcotest.(check bool) ("report mentions " ^ needle) true contains)
+        [ "FINDING"; "critical"; "recv"; "length(input) <= size(PostData)" ]
+
+let () =
+  Alcotest.run "discovery"
+    [ ("domain_gen",
+       [ Alcotest.test_case "boundary ints" `Quick test_boundary_ints_cover_the_classics;
+         Alcotest.test_case "deterministic" `Quick test_int_candidates_deterministic;
+         Alcotest.test_case "length clusters" `Quick test_length_strings_cluster;
+         Alcotest.test_case "traversal/format" `Quick test_traversal_and_format_strings;
+         Alcotest.test_case "scenario product" `Quick test_scenario_product ]);
+      ("search",
+       [ Alcotest.test_case "sendmail hidden paths" `Quick
+           test_search_finds_sendmail_hidden_paths;
+         Alcotest.test_case "secured model clean" `Quick
+           test_search_clean_on_secured_model;
+         Alcotest.test_case "iis traversal domain" `Quick
+           test_search_iis_traversal_domain ]);
+      ("differential",
+       [ Alcotest.test_case "rediscover #6255" `Quick test_rediscover_6255;
+         Alcotest.test_case "divergence only above buffer" `Quick
+           test_sweep_divergences_only_above_buffer;
+         Alcotest.test_case "confirm fix" `Quick test_confirm_fix;
+         Alcotest.test_case "v0.5 diverges" `Quick test_v0_5_diverges_even_more;
+         Alcotest.test_case "report text" `Quick test_finding_report_text ]) ]

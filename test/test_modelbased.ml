@@ -1,0 +1,223 @@
+(* Model-based property tests: the heap and the filesystem are
+   exercised with random operation sequences and compared, after
+   every step, against trivially-correct reference implementations. *)
+
+(* ---- heap vs a map of byte strings -------------------------------- *)
+
+type heap_op =
+  | Alloc of int
+  | Free_nth of int
+  | Write_nth of int * int   (* which allocation, seed byte *)
+  | Realloc_nth of int * int
+
+let heap_op_gen =
+  let open QCheck.Gen in
+  frequency
+    [ (4, map (fun n -> Alloc n) (int_range 1 160));
+      (2, map (fun i -> Free_nth i) (int_range 0 20));
+      (3, map2 (fun i b -> Write_nth (i, b)) (int_range 0 20) (int_range 0 255));
+      (1, map2 (fun i n -> Realloc_nth (i, n)) (int_range 0 20) (int_range 1 200)) ]
+
+let print_heap_op = function
+  | Alloc n -> Printf.sprintf "alloc %d" n
+  | Free_nth i -> Printf.sprintf "free #%d" i
+  | Write_nth (i, b) -> Printf.sprintf "write #%d <- %d" i b
+  | Realloc_nth (i, n) -> Printf.sprintf "realloc #%d to %d" i n
+
+(* Reference: an association list of live allocations and the bytes
+   we believe they hold. *)
+let run_heap_ops ops =
+  let mem = Machine.Memory.create ~base:0x1000 ~size:0x40000 in
+  let heap = Machine.Heap.create mem ~base:0x1000 ~size:0x40000 ~safe_unlink:false in
+  let live = ref [] in   (* (user, expected bytes) in allocation order *)
+  let nth i = if !live = [] then None else Some (List.nth !live (i mod List.length !live)) in
+  let replace user value =
+    live := List.map (fun (u, v) -> if u = user then (u, value) else (u, v)) !live
+  in
+  let remove user = live := List.filter (fun (u, _) -> u <> user) !live in
+  let fill user n b =
+    let s = String.init n (fun i -> Char.chr ((b + i) land 0xff)) in
+    Machine.Memory.write_string mem user s;
+    s
+  in
+  let step op =
+    match op with
+    | Alloc n -> (
+        match Machine.Heap.malloc heap n with
+        | Some user -> live := !live @ [ (user, fill user n 7) ]
+        | None -> ())
+    | Free_nth i -> (
+        match nth i with
+        | Some (user, _) ->
+            Machine.Heap.free heap user;
+            remove user
+        | None -> ())
+    | Write_nth (i, b) -> (
+        match nth i with
+        | Some (user, expected) ->
+            replace user (fill user (String.length expected) b)
+        | None -> ())
+    | Realloc_nth (i, n) -> (
+        match nth i with
+        | Some (user, expected) -> (
+            match Machine.Heap.realloc heap user n with
+            | Some fresh ->
+                remove user;
+                let keep = min (String.length expected) n in
+                let value = String.sub expected 0 keep in
+                live := !live @ [ (fresh, value) ]
+            | None -> ())
+        | None -> ())
+  in
+  let contents_ok () =
+    List.for_all
+      (fun (user, expected) ->
+         Machine.Memory.read_bytes mem user (String.length expected) = expected)
+      !live
+  in
+  let all_ok = ref true in
+  List.iter
+    (fun op ->
+       step op;
+       if not (contents_ok () && Machine.Heap.validate heap = []) then all_ok := false)
+    ops;
+  !all_ok
+
+let prop_heap_against_reference =
+  QCheck.Test.make ~name:"heap: contents and metadata survive random op sequences"
+    ~count:150
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map print_heap_op ops))
+       QCheck.Gen.(list_size (int_range 1 40) heap_op_gen))
+    run_heap_ops
+
+(* ---- filesystem vs a string map ----------------------------------- *)
+
+type fs_op =
+  | Create of int * string          (* path index, content *)
+  | Append of int * string
+  | Overwrite of int * string
+  | Remove of int
+
+let paths = [| "/a"; "/b"; "/tmp/c"; "/home/u/d"; "/var/log/e" |]
+
+let fs_op_gen =
+  let open QCheck.Gen in
+  let content = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
+  frequency
+    [ (3, map2 (fun i s -> Create (i, s)) (int_range 0 4) content);
+      (3, map2 (fun i s -> Append (i, s)) (int_range 0 4) content);
+      (2, map2 (fun i s -> Overwrite (i, s)) (int_range 0 4) content);
+      (1, map (fun i -> Remove i) (int_range 0 4)) ]
+
+let print_fs_op = function
+  | Create (i, s) -> Printf.sprintf "create %s %S" paths.(i) s
+  | Append (i, s) -> Printf.sprintf "append %s %S" paths.(i) s
+  | Overwrite (i, s) -> Printf.sprintf "overwrite %s %S" paths.(i) s
+  | Remove i -> Printf.sprintf "remove %s" paths.(i)
+
+module SM = Map.Make (String)
+
+let run_fs_ops ops =
+  let fs = Osmodel.Filesystem.create () in
+  let user = Osmodel.User.Regular "u" in
+  let reference = ref SM.empty in
+  let step op =
+    match op with
+    | Create (i, s) ->
+        let path = paths.(i) in
+        if not (SM.mem path !reference) then begin
+          Osmodel.Filesystem.mkfile fs path ~owner:user
+            ~mode:(Osmodel.Perm.of_octal 0o644) s;
+          reference := SM.add path s !reference
+        end
+    | Append (i, s) ->
+        let path = paths.(i) in
+        let fd = Osmodel.Filesystem.open_write fs path ~as_user:user in
+        Osmodel.Filesystem.append fs fd s;
+        let before = Option.value ~default:"" (SM.find_opt path !reference) in
+        reference := SM.add path (before ^ s) !reference
+    | Overwrite (i, s) ->
+        let path = paths.(i) in
+        let fd = Osmodel.Filesystem.open_write fs path ~as_user:user in
+        Osmodel.Filesystem.write fs fd s;
+        reference := SM.add path s !reference
+    | Remove i ->
+        let path = paths.(i) in
+        if SM.mem path !reference then begin
+          Osmodel.Filesystem.unlink fs path ~as_user:user;
+          reference := SM.remove path !reference
+        end
+  in
+  let agree () =
+    SM.for_all
+      (fun path content -> Osmodel.Filesystem.content fs path = content)
+      !reference
+    && List.for_all
+         (fun path -> SM.mem path !reference || not (Osmodel.Filesystem.exists fs path))
+         (Array.to_list paths)
+  in
+  let all_ok = ref true in
+  List.iter
+    (fun op ->
+       step op;
+       if not (agree ()) then all_ok := false)
+    ops;
+  !all_ok
+
+let prop_fs_against_reference =
+  QCheck.Test.make ~name:"filesystem: agrees with a string-map reference" ~count:200
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map print_fs_op ops))
+       QCheck.Gen.(list_size (int_range 1 30) fs_op_gen))
+    run_fs_ops
+
+(* ---- socket/recv loop model --------------------------------------- *)
+
+(* The NULL HTTPD read loop against a pure specification of how many
+   bytes each loop variant consumes. *)
+let expected_bytes_read ~fixed ~content_len ~body_len =
+  (* mirror of the do-while semantics, computed arithmetically *)
+  let rec go x =
+    let rc = min 1024 (body_len - x) in
+    if rc = 0 then x
+    else
+      let x = x + rc in
+      let continue =
+        if fixed then rc = 1024 && x < content_len
+        else rc = 1024 || x < content_len
+      in
+      if continue then go x else x
+  in
+  go 0
+
+let prop_read_loop_byte_counts =
+  QCheck.Test.make
+    ~name:"nullhttpd: loop reads exactly the bytes its condition dictates" ~count:150
+    QCheck.(triple bool (int_range 0 3000) (int_range 0 6000))
+    (fun (fixed, content_len, body_len) ->
+       let config =
+         { Apps.Nullhttpd.version = Apps.Nullhttpd.V0_5_1;
+           loop_fixed = fixed;
+           safe_unlink = false }
+       in
+       let app = Apps.Nullhttpd.setup ~config () in
+       let body = String.make body_len 'z' in
+       let outcome = Apps.Nullhttpd.handle_post app ~content_len ~body in
+       let expected = expected_bytes_read ~fixed ~content_len ~body_len in
+       (* We can't observe the count directly, but the outcome class
+          is determined by it. *)
+       let usable = Apps.Nullhttpd.usable_for ~content_len in
+       match outcome with
+       | Apps.Outcome.Refused _ -> fixed && expected < body_len
+       | Apps.Outcome.Benign _ -> expected <= usable && expected = body_len || not fixed && expected <= usable
+       | Apps.Outcome.Memory_corruption _ | Apps.Outcome.Crash _
+       | Apps.Outcome.Arbitrary_write _ | Apps.Outcome.Code_execution _ ->
+           expected > usable
+       | _ -> false)
+
+let () =
+  Alcotest.run "modelbased"
+    [ ("heap", [ QCheck_alcotest.to_alcotest prop_heap_against_reference ]);
+      ("filesystem", [ QCheck_alcotest.to_alcotest prop_fs_against_reference ]);
+      ("read loop", [ QCheck_alcotest.to_alcotest prop_read_loop_byte_counts ]) ]
