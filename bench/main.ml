@@ -400,6 +400,17 @@ let consistency () =
     (List.length (List.filter (fun e -> e.Exploit.Consistency.consistent) entries))
     (List.length entries)
 
+let faults () =
+  section "FAULTS -- consistency matrix resilience under fault plans";
+  let reports = Exploit.Fault_matrix.run () in
+  List.iter (Format.printf "%a@." Exploit.Fault_matrix.pp_report) reports;
+  Format.printf "%a@." Exploit.Fault_matrix.pp_grid reports;
+  Format.printf
+    "benign plans consistent: %b; no fail-open divergence: %b; seed-stable: %b@."
+    (Exploit.Fault_matrix.all_benign_ok reports)
+    (Exploit.Fault_matrix.no_divergence reports)
+    (Exploit.Fault_matrix.stable ())
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -632,6 +643,7 @@ let () =
   verification ();
   lemma ();
   consistency ();
+  faults ();
   ablation_aslr ();
   ablation_interleavings ();
   protection_matrix ();

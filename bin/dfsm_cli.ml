@@ -227,6 +227,22 @@ let baselines () =
 
 (* ---- cmdliner plumbing ------------------------------------------- *)
 
+let faults smoke =
+  let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
+  let reports = Exploit.Fault_matrix.run ~plans () in
+  List.iter (Format.printf "%a@." Exploit.Fault_matrix.pp_report) reports;
+  Format.printf "%a@." Exploit.Fault_matrix.pp_grid reports;
+  let benign = Exploit.Fault_matrix.all_benign_ok reports in
+  let no_div = Exploit.Fault_matrix.no_divergence reports in
+  let stable = Exploit.Fault_matrix.stable ~plans () in
+  Format.printf "benign plans consistent: %b@." benign;
+  Format.printf "no fail-open divergence: %b@." no_div;
+  Format.printf "seed-stable verdicts:    %b@." stable;
+  if benign && stable then `Ok ()
+  else
+    `Error
+      (false, "fault matrix: benign-plan agreement or seed determinism violated")
+
 open Cmdliner
 
 let app_arg =
@@ -337,6 +353,16 @@ let matrix_cmd =
     (Cmd.info "matrix" ~doc:"Protection x vulnerability matrix (Section 6)")
     Term.(ret (const matrix $ const ()))
 
+let smoke_arg =
+  Arg.(value & flag
+       & info [ "smoke" ] ~doc:"Run only the three-plan CI subset of the catalog.")
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Re-run the consistency matrix and lemma under every fault plan")
+    Term.(ret (const faults $ smoke_arg))
+
 let extract_cmd =
   Cmd.v
     (Cmd.info "extract"
@@ -349,6 +375,6 @@ let main =
        ~doc:"Data-driven FSM analysis of security vulnerabilities (DSN 2003)")
     [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
       lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
-      baselines_cmd; extract_cmd; matrix_cmd; export_cmd ]
+      baselines_cmd; extract_cmd; matrix_cmd; export_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

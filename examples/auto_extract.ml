@@ -27,6 +27,8 @@ let analyse ~label ~func ~object_var ~spec ~domain ~witness_runner =
              (Pfsm.Value.to_string witness);
            Format.printf "running the witness      : %a@.@." Minic.Interp.pp_outcome
              (witness_runner witness)
+       | Pfsm.Verify.Budget_exhausted { tried; total } ->
+           Format.printf "budget exhausted after %d of %d candidates@.@." tried total
        | Pfsm.Verify.Domain_too_large _ ->
            Format.printf "domain too large@.@.")
 

@@ -55,6 +55,7 @@ let distance_to_ret t =
   d
 
 let serve t ~request =
+  Outcome.guard @@ fun () ->
   if t.config.length_check && String.length request > buffer_size then
     Outcome.Refused "request longer than 200 bytes"
   else begin

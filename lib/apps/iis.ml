@@ -29,6 +29,7 @@ let contains ~needle haystack =
   nn > 0 && at 0
 
 let handle_request t path =
+  Outcome.guard @@ fun () ->
   let once = Pfsm.Strcodec.percent_decode path in
   if contains ~needle:"../" once then
     Outcome.Refused "request path contains \"../\""

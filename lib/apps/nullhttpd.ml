@@ -32,12 +32,12 @@ let setup ?(config = vulnerable_v0_5) ?aslr_seed () =
   let keep_buf =
     match Machine.Heap.malloc heap 512 with
     | Some a -> a
-    | None -> failwith "Nullhttpd.setup: heap exhausted"
+    | None -> Fault.Condition.fail (Fault.Condition.Heap_exhausted { requested = 512 })
   in
   let work_region =
     match Machine.Heap.malloc heap 4096 with
     | Some a -> a
-    | None -> failwith "Nullhttpd.setup: heap exhausted"
+    | None -> Fault.Condition.fail (Fault.Condition.Heap_exhausted { requested = 4096 })
   in
   Machine.Heap.free heap work_region;
   { proc; config; mcode; keep_buf; work_region }
@@ -99,6 +99,7 @@ let read_post_data t ~postdata ~content_len ~body =
       Error (Outcome.Crash (Printf.sprintf "segfault writing heap at 0x%08x" addr))
 
 let handle_post t ~content_len ~body =
+  Outcome.guard @@ fun () ->
   if t.config.version = V0_5_1 && content_len < 0 then
     Outcome.Refused "negative Content-Length rejected (0.5.1 check)"
   else

@@ -8,12 +8,13 @@ type t =
   | File_overwritten of { path : string; data : string }
   | Info_leak of string
   | Crash of string
+  | Resource_fault of Fault.Condition.t
 
 type verdict = Compromised | Blocked | Normal
 
 let verdict = function
   | Benign _ -> Normal
-  | Refused _ | Protection_triggered _ -> Blocked
+  | Refused _ | Protection_triggered _ | Resource_fault _ -> Blocked
   | Code_execution _ | Arbitrary_write _ | Memory_corruption _ | File_overwritten _
   | Info_leak _ | Crash _ -> Compromised
 
@@ -36,5 +37,11 @@ let pp ppf = function
       Format.fprintf ppf "FILE OVERWRITTEN: %s <- %S" path data
   | Info_leak leaked -> Format.fprintf ppf "INFO LEAK: %s" leaked
   | Crash msg -> Format.fprintf ppf "CRASH: %s" msg
+  | Resource_fault c -> Format.fprintf ppf "RESOURCE FAULT: %a" Fault.Condition.pp c
 
 let to_string t = Format.asprintf "%a" pp t
+
+let guard f =
+  match Fault.Condition.protect f with
+  | Ok outcome -> outcome
+  | Error c -> Resource_fault c

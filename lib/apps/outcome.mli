@@ -15,6 +15,9 @@ type t =
   | File_overwritten of { path : string; data : string }
   | Info_leak of string
   | Crash of string
+  | Resource_fault of Fault.Condition.t
+      (** the simulated environment failed underneath the program
+          (injected heap/socket/fs fault) — degraded, not exploited *)
 
 type verdict = Compromised | Blocked | Normal
 
@@ -27,3 +30,8 @@ val verdict_to_string : verdict -> string
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val guard : (unit -> t) -> t
+(** Run an app entry point, converting an escaped simulated fault
+    ({!Fault.Condition.Simulated}) into {!Resource_fault} so injected
+    faults surface as typed outcomes rather than raw exceptions. *)

@@ -90,6 +90,7 @@ let run_syslog t ~filename =
               else Outcome.Benign (Printf.sprintf "logged; returned to %s" name)))
 
 let notify t ~filename =
+  Outcome.guard @@ fun () ->
   if t.config.format_check && Pfsm.Strcodec.contains_format_directive filename then
     Outcome.Refused "filename contains printf directives"
   else run_syslog t ~filename

@@ -32,6 +32,7 @@ let setup ?(config = vulnerable) () =
 let fs t = t.fs
 
 let add_utmp_entry t ~as_user entry =
+  Outcome.guard @@ fun () ->
   if not (Fs.access_write t.fs utmp_path ~as_user) then
     Outcome.Refused "no write permission on /etc/utmp"
   else begin
@@ -46,6 +47,7 @@ let utmp_entries t =
   |> List.filter (fun line -> line <> "")
 
 let write_to_entry t ~message entry =
+  Outcome.guard @@ fun () ->
   (* rwalld resolves entries relative to /dev, so "../etc/passwd"
      escapes to the real password file. *)
   let path = Fs.resolve t.fs ~cwd:"/dev" entry in
@@ -76,8 +78,9 @@ let worst outcomes =
   | o :: rest -> List.fold_left (fun acc x -> if rank x > rank acc then x else acc) o rest
 
 let run_attack t ~message =
+  Outcome.guard @@ fun () ->
   match add_utmp_entry t ~as_user:attacker "../etc/passwd" with
-  | Outcome.Refused _ as blocked -> blocked
+  | (Outcome.Refused _ | Outcome.Resource_fault _) as blocked -> blocked
   | _ -> worst (broadcast t ~message)
 
 (* ------------------------------------------------------------------ *)

@@ -48,6 +48,7 @@ let str_x_representable str_x =
   | None -> true   (* non-numeric parses to 0: representable *)
 
 let tTflag t ~str_x ~str_i =
+  Outcome.guard @@ fun () ->
   if t.config.input_check && not (str_x_representable str_x) then
     Outcome.Refused "str_x does not represent a 32-bit integer"
   else
@@ -83,9 +84,11 @@ let call_setuid t =
         Outcome.Crash (Printf.sprintf "setuid call jumped to 0x%08x" addr)
 
 let run_attack t ~str_x ~str_i =
+  Outcome.guard @@ fun () ->
   let o1 = tTflag t ~str_x ~str_i in
   match o1 with
-  | Outcome.Refused _ | Outcome.Protection_triggered _ | Outcome.Crash _ -> o1
+  | Outcome.Refused _ | Outcome.Protection_triggered _ | Outcome.Crash _
+  | Outcome.Resource_fault _ -> o1
   | Outcome.Benign _ | Outcome.Arbitrary_write _ | Outcome.Memory_corruption _
   | Outcome.Code_execution _ | Outcome.File_overwritten _ | Outcome.Info_leak _ -> (
       let o2 = call_setuid t in

@@ -52,8 +52,9 @@ let passwd_corrupted st =
   else None
 
 let run_race config =
-  Sched.explore ~init:fresh_state ~a:(logger_steps config) ~b:attacker_steps
-    ~check:passwd_corrupted
+  (Sched.explore ~init:fresh_state ~a:(logger_steps config) ~b:attacker_steps
+     ~check:passwd_corrupted ())
+    .Sched.verdicts
 
 let total_interleavings = Sched.interleaving_count 3 2
 

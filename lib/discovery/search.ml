@@ -4,15 +4,34 @@ type hit = {
   scenario : Pfsm.Env.t;
 }
 
-let hidden_paths model ~scenarios =
-  let report = Pfsm.Analysis.analyze model ~scenarios in
-  List.filter_map
-    (fun (f : Pfsm.Analysis.pfsm_finding) ->
-       match f.Pfsm.Analysis.example with
-       | Some scenario when f.Pfsm.Analysis.hidden_hits > 0 ->
-           Some { operation = f.Pfsm.Analysis.operation; pfsm = f.Pfsm.Analysis.pfsm; scenario }
-       | Some _ | None -> None)
-    report.Pfsm.Analysis.findings
+type exploration = { hits : hit list; coverage : Fault.Budget.coverage }
+
+let hidden_paths ?budget model ~scenarios =
+  let total = List.length scenarios in
+  let admitted =
+    match budget with
+    | None -> scenarios
+    | Some b ->
+        (* an explicit prefix: scenario order is part of the contract,
+           so a bigger budget only ever extends what was analysed *)
+        let rec take acc = function
+          | [] -> List.rev acc
+          | s :: rest ->
+              if Fault.Budget.take b then take (s :: acc) rest else List.rev acc
+        in
+        take [] scenarios
+  in
+  let report = Pfsm.Analysis.analyze model ~scenarios:admitted in
+  let hits =
+    List.filter_map
+      (fun (f : Pfsm.Analysis.pfsm_finding) ->
+         match f.Pfsm.Analysis.example with
+         | Some scenario when f.Pfsm.Analysis.hidden_hits > 0 ->
+             Some { operation = f.Pfsm.Analysis.operation; pfsm = f.Pfsm.Analysis.pfsm; scenario }
+         | Some _ | None -> None)
+      report.Pfsm.Analysis.findings
+  in
+  { hits; coverage = Fault.Budget.coverage ~covered:(List.length admitted) ~total }
 
 let findings_of_hits ~model hits =
   let finding h =
@@ -37,4 +56,4 @@ let findings_of_hits ~model hits =
   List.map finding hits
 
 let discover model ~scenarios =
-  findings_of_hits ~model (hidden_paths model ~scenarios)
+  findings_of_hits ~model (hidden_paths model ~scenarios).hits

@@ -11,8 +11,17 @@ type hit = {
   scenario : Pfsm.Env.t;
 }
 
-val hidden_paths : Pfsm.Model.t -> scenarios:Pfsm.Env.t list -> hit list
-(** One hit per (site, first witnessing scenario). *)
+type exploration = {
+  hits : hit list;  (** one hit per (site, first witnessing scenario) *)
+  coverage : Fault.Budget.coverage;
+      (** [Partial] when the budget cut the scenario list short *)
+}
+
+val hidden_paths :
+  ?budget:Fault.Budget.t -> Pfsm.Model.t -> scenarios:Pfsm.Env.t list -> exploration
+(** Analyse the scenarios (or the budget-sized prefix of them, in
+    order — so growing the budget never loses a previously found
+    hit). *)
 
 val findings_of_hits : model:Pfsm.Model.t -> hit list -> Finding.t list
 

@@ -1,0 +1,41 @@
+let none = Plan.none
+
+(* Benign: every request is fragmented at the 1024-byte chunk the
+   read loops already use, so granted sizes are unchanged. *)
+let mtu_recv =
+  { Plan.none with name = "mtu-recv"; seed = 102; recv_max_chunk = Some 1024 }
+
+let short_recv =
+  { Plan.none with
+    name = "short-recv"; seed = 103; benign = false; recv_max_chunk = Some 7 }
+
+let heap_pressure =
+  { Plan.none with
+    name = "heap-pressure"; seed = 104; benign = false;
+    heap_fail_percent = Some 60 }
+
+let fs_chaos =
+  { Plan.none with
+    name = "fs-chaos"; seed = 105; benign = false; fs_deny_percent = Some 55 }
+
+let sched_chaos =
+  { Plan.none with
+    name = "sched-chaos"; seed = 106; benign = false;
+    sched_drop_percent = Some 40; sched_dup_percent = Some 25 }
+
+let bitflip =
+  { Plan.none with
+    name = "bitflip"; seed = 107; benign = false; bitflip_percent = Some 70 }
+
+let socket_reset =
+  { Plan.none with
+    name = "socket-reset"; seed = 108; benign = false;
+    socket_reset_after = Some 1 }
+
+let all =
+  [ none; mtu_recv; short_recv; heap_pressure; fs_chaos; sched_chaos; bitflip;
+    socket_reset ]
+
+let smoke = [ none; short_recv; heap_pressure ]
+
+let find name = List.find_opt (fun p -> p.Plan.name = name) all

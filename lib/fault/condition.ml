@@ -1,0 +1,30 @@
+type t =
+  | Heap_exhausted of { requested : int }
+  | Stack_exhausted of { requested : int }
+  | Got_full of { capacity : int }
+  | Data_segment_full of { requested : int }
+  | Socket_reset of { consumed : int }
+  | Fs_denied of { path : string }
+
+exception Simulated of t
+
+type 'a outcome = ('a, t) result
+
+let fail c = raise (Simulated c)
+
+let protect f = try Ok (f ()) with Simulated c -> Error c
+
+let pp ppf = function
+  | Heap_exhausted { requested } ->
+      Format.fprintf ppf "heap exhausted (malloc of %d bytes failed)" requested
+  | Stack_exhausted { requested } ->
+      Format.fprintf ppf "stack exhausted (push of %d bytes failed)" requested
+  | Got_full { capacity } ->
+      Format.fprintf ppf "GOT table full (capacity %d)" capacity
+  | Data_segment_full { requested } ->
+      Format.fprintf ppf "data segment full (global of %d bytes failed)" requested
+  | Socket_reset { consumed } ->
+      Format.fprintf ppf "connection reset by peer (after %d bytes)" consumed
+  | Fs_denied { path } -> Format.fprintf ppf "I/O error on %s (injected EACCES)" path
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,31 @@
+(** The typed failure taxonomy of the simulated machine and OS.
+
+    Every condition here is something the {e simulated} program can
+    hit — a resource running out, a syscall failing — as opposed to a
+    misuse of the simulator's own API (which stays [Invalid_argument]
+    and really is a bug in the caller).  Simulated conditions are
+    raised as {!Simulated} and are expected to be caught at the
+    application boundary and folded into an outcome, never to escape
+    a simulated code path. *)
+
+type t =
+  | Heap_exhausted of { requested : int }
+  | Stack_exhausted of { requested : int }
+  | Got_full of { capacity : int }
+  | Data_segment_full of { requested : int }
+  | Socket_reset of { consumed : int }
+  | Fs_denied of { path : string }
+
+exception Simulated of t
+
+type 'a outcome = ('a, t) result
+
+val fail : t -> 'a
+(** Raise {!Simulated}. *)
+
+val protect : (unit -> 'a) -> 'a outcome
+(** Run a simulated code path, reifying {!Simulated} as [Error]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,7 @@
+type t = { seam : string; detail : string }
+
+let make ~seam detail = { seam; detail }
+
+let seam t = t.seam
+
+let pp ppf t = Format.fprintf ppf "[%s] %s" t.seam t.detail

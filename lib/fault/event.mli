@@ -1,0 +1,11 @@
+(** One injected fault, as recorded by the {!Injector} at the seam
+    where it fired — the audit trail that makes a perturbed run
+    explainable after the fact. *)
+
+type t = { seam : string; detail : string }
+
+val make : seam:string -> string -> t
+
+val seam : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Deterministic fault injection and budgeted execution.
+
+    {!Plan} says what to break, {!Injector} decides when (seeded by
+    {!Vulndb.Prng}), {!Hooks} carries the decisions to the seams in
+    [machine] and [osmodel], {!Condition} types the failures the
+    simulated programs can hit, and {!Budget} bounds the exhaustive
+    analyses with explicit coverage. *)
+
+module Condition = Condition
+module Event = Event
+module Budget = Budget
+module Plan = Plan
+module Injector = Injector
+module Hooks = Hooks
+module Catalog = Catalog
+
+type 'a outcome = 'a Condition.outcome
+
+exception Simulated = Condition.Simulated

@@ -1,0 +1,40 @@
+let installed : Injector.t option ref = ref None
+
+let current () = !installed
+
+let with_injector inj f =
+  let prev = !installed in
+  installed := Some inj;
+  Fun.protect ~finally:(fun () -> installed := prev) f
+
+let with_plan plan f = with_injector (Injector.create plan) f
+
+let run plan f =
+  let inj = Injector.create plan in
+  let result = with_injector inj f in
+  (result, Injector.events inj)
+
+(* Seam queries: no-ops when no injector is installed, so the default
+   (unperturbed) execution pays one ref read per seam and nothing
+   else. *)
+
+let heap_alloc_fails ~requested =
+  match !installed with
+  | None -> false
+  | Some i -> Injector.heap_alloc_fails i ~requested
+
+let recv_request ~requested ~consumed =
+  match !installed with
+  | None -> requested
+  | Some i -> Injector.recv_request i ~requested ~consumed
+
+let fs_denies ~path =
+  match !installed with None -> false | Some i -> Injector.fs_denies i ~path
+
+let mangle s =
+  match !installed with None -> s | Some i -> Injector.mangle i s
+
+let schedule_mutation ~steps =
+  match !installed with
+  | None -> None
+  | Some i -> Injector.schedule_mutation i ~steps

@@ -1,0 +1,29 @@
+(** The ambient injector and the seam queries the simulation calls.
+
+    [machine] and [osmodel] consult these hooks at each injectable
+    seam.  With no injector installed every query is the identity /
+    [false] / [None], so the unperturbed system behaves exactly as it
+    did before the fault layer existed.  [with_plan] installs an
+    injector for the dynamic extent of one workload and restores the
+    previous one afterwards (plans nest). *)
+
+val with_plan : Plan.t -> (unit -> 'a) -> 'a
+
+val run : Plan.t -> (unit -> 'a) -> 'a * Event.t list
+(** Like {!with_plan} but also returns the faults that fired. *)
+
+val with_injector : Injector.t -> (unit -> 'a) -> 'a
+
+val current : unit -> Injector.t option
+
+(** {2 Seam queries} *)
+
+val heap_alloc_fails : requested:int -> bool
+
+val recv_request : requested:int -> consumed:int -> int
+
+val fs_denies : path:string -> bool
+
+val mangle : string -> string
+
+val schedule_mutation : steps:int -> Injector.mutation option

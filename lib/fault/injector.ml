@@ -1,0 +1,109 @@
+type mutation = Drop_step of int | Dup_step of int
+
+type t = {
+  plan : Plan.t;
+  rng : Vulndb.Prng.t;
+  mutable allocs : int;
+  mutable recvs : int;
+  mutable writes : int;
+  mutable schedules : int;
+  mutable events : Event.t list;   (* newest first *)
+}
+
+let create plan =
+  { plan;
+    rng = Vulndb.Prng.create ~seed:plan.Plan.seed;
+    allocs = 0;
+    recvs = 0;
+    writes = 0;
+    schedules = 0;
+    events = [] }
+
+let plan t = t.plan
+
+let events t = List.rev t.events
+
+let record t ~seam detail = t.events <- Event.make ~seam detail :: t.events
+
+let chance t = function
+  | None -> false
+  | Some percent -> Vulndb.Prng.below t.rng 100 < percent
+
+let heap_alloc_fails t ~requested =
+  t.allocs <- t.allocs + 1;
+  match t.plan.Plan.heap_fail_percent with
+  | None -> false
+  | Some _ as p ->
+      let fails = chance t p in
+      if fails then
+        record t ~seam:"machine.heap"
+          (Printf.sprintf "malloc(%d) denied (allocation #%d)" requested t.allocs);
+      fails
+
+(* The socket seam both clamps the granted chunk and, past the
+   configured call count, resets the connection. *)
+let recv_request t ~requested ~consumed =
+  let idx = t.recvs in
+  t.recvs <- idx + 1;
+  (match t.plan.Plan.socket_reset_after with
+   | Some k when idx >= k ->
+       record t ~seam:"osmodel.socket"
+         (Printf.sprintf "connection reset at recv #%d" (idx + 1));
+       Condition.fail (Condition.Socket_reset { consumed })
+   | Some _ | None -> ());
+  match t.plan.Plan.recv_max_chunk with
+  | Some chunk when requested > chunk ->
+      record t ~seam:"osmodel.socket"
+        (Printf.sprintf "recv(%d) clamped to %d bytes" requested chunk);
+      chunk
+  | Some _ | None -> requested
+
+(* Denial is a pure function of (seed, path), NOT a PRNG draw: the
+   access(2)-style check and the later open(2) must agree on the same
+   path, exactly as a sticky EACCES would in a real filesystem. *)
+let fs_denies t ~path =
+  match t.plan.Plan.fs_deny_percent with
+  | None -> false
+  | Some percent ->
+      let h = Hashtbl.hash (t.plan.Plan.seed, "fs", path) in
+      let denied = h mod 100 < percent in
+      if denied then
+        record t ~seam:"osmodel.filesystem" (Printf.sprintf "EACCES on %s" path);
+      denied
+
+let mangle t s =
+  match t.plan.Plan.bitflip_percent with
+  | None -> s
+  | Some _ as p ->
+      t.writes <- t.writes + 1;
+      if String.length s = 0 || not (chance t p) then s
+      else begin
+        let off = Vulndb.Prng.below t.rng (String.length s) in
+        let bit = Vulndb.Prng.below t.rng 8 in
+        let b = Bytes.of_string s in
+        Bytes.set b off
+          (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+        record t ~seam:"machine.memory"
+          (Printf.sprintf "bit %d of byte %d flipped in a %d-byte write" bit off
+             (String.length s));
+        Bytes.to_string b
+      end
+
+let schedule_mutation t ~steps =
+  if steps = 0 then None
+  else begin
+    t.schedules <- t.schedules + 1;
+    if chance t t.plan.Plan.sched_drop_percent then begin
+      let i = Vulndb.Prng.below t.rng steps in
+      record t ~seam:"osmodel.scheduler"
+        (Printf.sprintf "step %d of %d dropped (schedule #%d)" i steps t.schedules);
+      Some (Drop_step i)
+    end
+    else if chance t t.plan.Plan.sched_dup_percent then begin
+      let i = Vulndb.Prng.below t.rng steps in
+      record t ~seam:"osmodel.scheduler"
+        (Printf.sprintf "step %d of %d duplicated (schedule #%d)" i steps t.schedules);
+      Some (Dup_step i)
+    end
+    else None
+  end

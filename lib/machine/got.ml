@@ -15,7 +15,8 @@ let create mem ~base ~capacity =
 
 let register t name ~code =
   if List.mem_assoc name t.entries then invalid_arg ("Got.register: duplicate " ^ name);
-  if t.next >= t.capacity then failwith "Got.register: table full";
+  if t.next >= t.capacity then
+    Fault.Condition.fail (Fault.Condition.Got_full { capacity = t.capacity });
   let slot = t.base + (4 * t.next) in
   t.next <- t.next + 1;
   Memory.write_i32 t.mem slot code;

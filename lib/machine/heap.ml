@@ -132,6 +132,8 @@ let malloc t n =
   if n <= 0 then None
   else
     let req = request_size n in
+    if Fault.Hooks.heap_alloc_fails ~requested:req then
+      Fault.Condition.fail (Fault.Condition.Heap_exhausted { requested = req });
     match find_fit t req with
     | Some chunk ->
         unlink t chunk;

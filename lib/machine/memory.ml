@@ -44,6 +44,7 @@ let read_bytes t a n =
 
 let write_string t a s =
   check t a (String.length s) Write;
+  let s = Fault.Hooks.mangle s in
   Bytes.blit_string s 0 t.data (offset t a) (String.length s)
 
 let fill t a n c =

@@ -82,7 +82,8 @@ let alloc_global t name size =
   if List.mem_assoc name t.globals then
     invalid_arg ("Process.alloc_global: duplicate " ^ name);
   let a = t.data_next in
-  if a + size > t.data_limit then failwith "Process.alloc_global: data segment full";
+  if a + size > t.data_limit then
+    Fault.Condition.fail (Fault.Condition.Data_segment_full { requested = size });
   t.data_next <- a + align8 size;
   t.globals <- (name, (a, size)) :: t.globals;
   a

@@ -36,7 +36,8 @@ let align8 n = (n + 7) land lnot 7
 
 let push t n =
   let a = t.sp - n in
-  if a < t.base then failwith "Stack.push_frame: stack exhausted";
+  if a < t.base then
+    Fault.Condition.fail (Fault.Condition.Stack_exhausted { requested = n });
   t.sp <- a;
   a
 
@@ -64,13 +65,13 @@ let push_frame t ~func ~ret_addr ~locals =
 
 let current t =
   match t.frames with
-  | [] -> failwith "Stack: no frame"
+  | [] -> invalid_arg "Stack: no frame"
   | f :: _ -> f
 
 let find_local t name =
   let f = current t in
   let rec look = function
-    | [] -> failwith ("Stack: no local " ^ name ^ " in frame " ^ f.func)
+    | [] -> invalid_arg ("Stack: no local " ^ name ^ " in frame " ^ f.func)
     | (n, a, size) :: rest -> if n = name then (a, size) else look rest
   in
   look f.locals

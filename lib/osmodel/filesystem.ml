@@ -98,11 +98,15 @@ let chmod t path mode =
 
 let access_write t path ~as_user =
   match file_exn t path with
-  | _, f -> Perm.can_write f.mode ~owner:f.owner ~as_user
+  | p, f ->
+      (not (Fault.Hooks.fs_denies ~path:p))
+      && Perm.can_write f.mode ~owner:f.owner ~as_user
   | exception Fs_error _ -> false
 
 let open_write t ?(cwd = "/") path ~as_user =
   let p = resolve t ~cwd path in
+  if Fault.Hooks.fs_denies ~path:p then
+    Fault.Condition.fail (Fault.Condition.Fs_denied { path = p });
   (match node_opt t p with
    | Some (File f) ->
        if not (Perm.can_write f.mode ~owner:f.owner ~as_user) then
@@ -129,6 +133,8 @@ let append t fd data =
 
 let read t path ~as_user =
   let p, f = file_exn t path in
+  if Fault.Hooks.fs_denies ~path:p then
+    Fault.Condition.fail (Fault.Condition.Fs_denied { path = p });
   if not (Perm.can_read f.mode ~owner:f.owner ~as_user) then
     raise (Fs_error (Permission_denied p));
   f.content

@@ -2,69 +2,127 @@ type 'st step = { label : string; run : 'st -> unit }
 
 let step label run = { label; run }
 
-let interleavings xs ys =
-  let rec merge xs ys =
-    match xs, ys with
-    | [], _ -> [ ys ]
-    | _, [] -> [ xs ]
-    | x :: xs', y :: ys' ->
-        List.map (fun rest -> x :: rest) (merge xs' ys)
-        @ List.map (fun rest -> y :: rest) (merge xs ys')
-  in
-  merge xs ys
+(* Lazy enumeration of the merges, in the same order the eager list
+   version produced: all merges starting with [x] before all merges
+   starting with [y]. *)
+let rec merge_seq xs ys () =
+  match xs, ys with
+  | [], _ -> Seq.Cons (ys, Seq.empty)
+  | _, [] -> Seq.Cons (xs, Seq.empty)
+  | x :: xs', y :: ys' ->
+      Seq.append
+        (Seq.map (fun rest -> x :: rest) (merge_seq xs' ys))
+        (Seq.map (fun rest -> y :: rest) (merge_seq xs ys'))
+        ()
 
-(* C(n+m, n), multiplicatively: each partial product is itself a
-   binomial coefficient, so the division is exact. *)
+let interleavings_seq xs ys = merge_seq xs ys
+
+let interleavings xs ys = List.of_seq (merge_seq xs ys)
+
+(* C(n+m, n), multiplicatively.  [acc] is C(big+i-1, i-1) before step
+   [i], so [acc * (big+i) / i] divides exactly; computing it as
+   [q*(big+i) + r*(big+i)/i] with q = acc/i, r = acc mod i keeps every
+   intermediate at most as large as the true value, which lets us
+   saturate to [max_int] exactly when the true count overflows. *)
+let binom_step acc ~i ~mi =
+  let q = acc / i and r = acc mod i in
+  if (q <> 0 && mi > max_int / q) || (r <> 0 && mi > max_int / r) then max_int
+  else
+    let a = q * mi and b = r * mi / i in
+    if a > max_int - b then max_int else a + b
+
 let interleaving_count n m =
-  let rec go acc i = if i > n then acc else go (acc * (m + i) / i) (i + 1) in
-  go 1 1
+  if n < 0 || m < 0 then invalid_arg "Scheduler.interleaving_count: negative length";
+  let k = min n m and big = max n m in
+  if k = 0 then 1
+  else if big > max_int - k then max_int
+  else
+    let rec go acc i =
+      if i > k then acc else go (binom_step acc ~i ~mi:(big + i)) (i + 1)
+    in
+    go 1 1
 
 type 'r verdict = { schedule : string list; result : 'r }
 
-let run_schedules ~init ~check schedules =
-  let run_one steps =
-    let st = init () in
-    let ran =
-      List.map
-        (fun s ->
-           (try s.run st with _ -> ());
-           s.label)
-        steps
-    in
-    match check st with
-    | Some result -> Some { schedule = ran; result }
-    | None -> None
-  in
-  List.filter_map run_one schedules
+type 'r exploration = { verdicts : 'r verdict list; coverage : Fault.Budget.coverage }
 
-let explore ~init ~a ~b ~check = run_schedules ~init ~check (interleavings a b)
+(* The scheduler's own fault seam: a perturbed schedule drops or
+   replays one step before running. *)
+let perturb steps =
+  match Fault.Hooks.schedule_mutation ~steps:(List.length steps) with
+  | None -> steps
+  | Some (Fault.Injector.Drop_step i) -> List.filteri (fun j _ -> j <> i) steps
+  | Some (Fault.Injector.Dup_step i) ->
+      List.concat (List.mapi (fun j s -> if j = i then [ s; s ] else [ s ]) steps)
+
+let run_schedules_seq ?budget ~init ~check ~total schedules =
+  let budget = match budget with Some b -> b | None -> Fault.Budget.unlimited () in
+  let covered = ref 0 in
+  let verdicts = ref [] in
+  let rec go seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons (steps, rest) ->
+        if Fault.Budget.take budget then begin
+          incr covered;
+          let steps = perturb steps in
+          let st = init () in
+          let ran =
+            List.map
+              (fun s ->
+                 (try s.run st with _ -> ());
+                 s.label)
+              steps
+          in
+          (match check st with
+           | Some result -> verdicts := { schedule = ran; result } :: !verdicts
+           | None -> ());
+          go rest
+        end
+  in
+  go schedules;
+  { verdicts = List.rev !verdicts;
+    coverage = Fault.Budget.coverage ~covered:!covered ~total }
+
+let explore ?budget ~init ~a ~b ~check () =
+  run_schedules_seq ?budget ~init ~check
+    ~total:(interleaving_count (List.length a) (List.length b))
+    (interleavings_seq a b)
 
 (* Pick the head of any non-empty sequence as the next step, recurse. *)
-let interleavings_n seqs =
-  let rec merge_all seqs =
-    let seqs = List.filter (fun s -> s <> []) seqs in
-    if seqs = [] then [ [] ]
-    else
-      List.concat
-        (List.mapi
-           (fun i seq ->
-              match seq with
-              | [] -> []
-              | head :: tail ->
-                  let rest = List.mapi (fun j s -> if j = i then tail else s) seqs in
-                  List.map (fun m -> head :: m) (merge_all rest))
-           seqs)
-  in
-  merge_all seqs
+let rec merge_all_seq seqs () =
+  let seqs = List.filter (fun s -> s <> []) seqs in
+  if seqs = [] then Seq.Cons ([], Seq.empty)
+  else
+    Seq.concat
+      (List.to_seq
+         (List.mapi
+            (fun i seq ->
+               match seq with
+               | [] -> Seq.empty
+               | head :: tail ->
+                   let rest =
+                     List.mapi (fun j s -> if j = i then tail else s) seqs
+                   in
+                   Seq.map (fun m -> head :: m) (merge_all_seq rest))
+            seqs))
+      ()
+
+let interleavings_n_seq seqs = merge_all_seq seqs
+
+let interleavings_n seqs = List.of_seq (merge_all_seq seqs)
+
+let mul_sat a b = if a <> 0 && b > max_int / a then max_int else a * b
 
 let interleaving_count_n lengths =
-  let total = List.fold_left ( + ) 0 lengths in
   (* multiply (n_prefix + k choose k) over the sequences *)
   let rec go acc consumed = function
     | [] -> acc
-    | n :: rest -> go (acc * interleaving_count n consumed) (consumed + n) rest
+    | n :: rest -> go (mul_sat acc (interleaving_count n consumed)) (consumed + n) rest
   in
-  ignore total;
   go 1 0 lengths
 
-let explore_n ~init ~procs ~check = run_schedules ~init ~check (interleavings_n procs)
+let explore_n ?budget ~init ~procs ~check () =
+  run_schedules_seq ?budget ~init ~check
+    ~total:(interleaving_count_n (List.map List.length procs))
+    (interleavings_n_seq procs)

@@ -5,7 +5,13 @@
     the scheduler {e enumerates every interleaving} of two processes'
     atomic steps and evaluates a property on the resulting state —
     making the xterm race (Figure 5) a deterministic, exhaustively
-    checkable experiment. *)
+    checkable experiment.
+
+    Exploration honours an optional {!Fault.Budget}: the result
+    carries explicit coverage, so a fuel-bounded run reports
+    [Partial] rather than silently truncating.  An installed fault
+    plan may also perturb individual schedules (drop or replay one
+    step) through [Fault.Hooks.schedule_mutation]. *)
 
 type 'st step = { label : string; run : 'st -> unit }
 
@@ -15,24 +21,38 @@ val interleavings : 'a list -> 'a list -> 'a list list
 (** All merges of the two sequences that preserve each sequence's
     internal order.  Length is [C(n+m, n)]. *)
 
+val interleavings_seq : 'a list -> 'a list -> 'a list Seq.t
+(** The same merges, lazily, in the same order. *)
+
 val interleaving_count : int -> int -> int
-(** [C(n+m, n)] without materialising the schedules. *)
+(** [C(n+m, n)] without materialising the schedules.  Saturates to
+    [max_int] when the true count exceeds it (first at [C(66,33)]) —
+    never a silently wrapped value.  Raises [Invalid_argument] on
+    negative lengths. *)
 
 type 'r verdict = {
   schedule : string list;     (** executed step labels in order *)
   result : 'r;
 }
 
+type 'r exploration = {
+  verdicts : 'r verdict list;
+  coverage : Fault.Budget.coverage;
+      (** [Complete] when every interleaving ran *)
+}
+
 val explore :
+  ?budget:Fault.Budget.t ->
   init:(unit -> 'st) ->
   a:'st step list ->
   b:'st step list ->
   check:('st -> 'r option) ->
-  'r verdict list
-(** Run every interleaving from a fresh state; steps that raise are
-    treated as no-ops for that process (a failed syscall does not
-    stop the attacker).  Collect each schedule on which [check]
-    yields a result. *)
+  unit ->
+  'r exploration
+(** Run every interleaving (or as many as the budget allows) from a
+    fresh state; steps that raise are treated as no-ops for that
+    process (a failed syscall does not stop the attacker).  Collect
+    each schedule on which [check] yields a result. *)
 
 (** {2 N processes} *)
 
@@ -40,12 +60,17 @@ val interleavings_n : 'a list list -> 'a list list
 (** All merges of any number of sequences — the multinomial
     generalisation of {!interleavings}. *)
 
+val interleavings_n_seq : 'a list list -> 'a list Seq.t
+
 val interleaving_count_n : int list -> int
-(** [(Σnᵢ)! / Πnᵢ!] without materialising the schedules. *)
+(** [(Σnᵢ)! / Πnᵢ!] without materialising the schedules; saturates
+    like {!interleaving_count}. *)
 
 val explore_n :
+  ?budget:Fault.Budget.t ->
   init:(unit -> 'st) ->
   procs:'st step list list ->
   check:('st -> 'r option) ->
-  'r verdict list
+  unit ->
+  'r exploration
 (** {!explore} over any number of concurrent processes. *)

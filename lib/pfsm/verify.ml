@@ -7,6 +7,7 @@ type domain =
 type result =
   | Verified of { candidates : int }
   | Refuted of { witness : Value.t; candidates_tried : int }
+  | Budget_exhausted of { tried : int; total : int }
   | Domain_too_large of { bound : int }
 
 let max_candidates = 100_000
@@ -47,10 +48,11 @@ let enumerate = function
       in
       List.map (fun s -> Value.Str s) (level [] [ "" ] max_len)
 
-let verify ?(env = Env.empty) pfsm domain =
+let verify ?(env = Env.empty) ?budget pfsm domain =
   let bound = size domain in
   if bound > max_candidates then Domain_too_large { bound }
   else
+    let budget = match budget with Some b -> b | None -> Fault.Budget.unlimited () in
     let candidates = enumerate domain in
     let hidden self =
       match
@@ -60,14 +62,20 @@ let verify ?(env = Env.empty) pfsm domain =
       | Some true, Some false -> true
       | (Some _ | None), (Some _ | None) -> false
     in
-    match List.find_opt hidden candidates with
-    | Some witness -> Refuted { witness; candidates_tried = List.length candidates }
-    | None -> Verified { candidates = List.length candidates }
+    let rec scan tried = function
+      | [] -> Verified { candidates = tried }
+      | c :: rest ->
+          if not (Fault.Budget.take budget) then
+            Budget_exhausted { tried; total = bound }
+          else if hidden c then Refuted { witness = c; candidates_tried = tried + 1 }
+          else scan (tried + 1) rest
+    in
+    scan 0 candidates
 
-let verify_secured ?(env = Env.empty) pfsm domain =
-  match verify ~env (Primitive.secured pfsm) domain with
+let verify_secured ?(env = Env.empty) ?budget pfsm domain =
+  match verify ~env ?budget (Primitive.secured pfsm) domain with
   | Verified _ -> true
-  | Refuted _ | Domain_too_large _ -> false
+  | Refuted _ | Budget_exhausted _ | Domain_too_large _ -> false
 
 let pp_result ppf = function
   | Verified { candidates } ->
@@ -75,5 +83,8 @@ let pp_result ppf = function
   | Refuted { witness; candidates_tried } ->
       Format.fprintf ppf "REFUTED: hidden path on %a (after %d candidates)" Value.pp
         witness candidates_tried
+  | Budget_exhausted { tried; total } ->
+      Format.fprintf ppf "PARTIAL: budget exhausted after %d of %d candidates" tried
+        total
   | Domain_too_large { bound } ->
       Format.fprintf ppf "domain too large (%d > %d)" bound max_candidates

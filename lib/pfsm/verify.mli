@@ -22,6 +22,11 @@ type result =
   | Verified of { candidates : int }
       (** impl ⇒ spec on the whole domain *)
   | Refuted of { witness : Value.t; candidates_tried : int }
+      (** [candidates_tried] counts candidates actually examined,
+          including the witness *)
+  | Budget_exhausted of { tried : int; total : int }
+      (** the {!Fault.Budget} ran dry before the scan decided — an
+          explicit partial answer, never a silent truncation *)
   | Domain_too_large of { bound : int }
 
 val enumerate : domain -> Value.t list
@@ -35,10 +40,11 @@ val size : domain -> int
 val max_candidates : int
 (** 100_000. *)
 
-val verify : ?env:Env.t -> Primitive.t -> domain -> result
-(** Decide [impl ⇒ spec] on the domain. *)
+val verify : ?env:Env.t -> ?budget:Fault.Budget.t -> Primitive.t -> domain -> result
+(** Decide [impl ⇒ spec] on the domain, consuming one unit of
+    [budget] fuel per candidate examined. *)
 
-val verify_secured : ?env:Env.t -> Primitive.t -> domain -> bool
+val verify_secured : ?env:Env.t -> ?budget:Fault.Budget.t -> Primitive.t -> domain -> bool
 (** Sanity: a {!Primitive.secured} pFSM always verifies. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,6 +1,7 @@
-let field_count = 9
+let field_count = 10
 
-let header = "id,title,date,category,software,range,flaw,synthetic,description"
+let header =
+  "id,title,date,category,software,range,flaw,synthetic,elementary_activity,description"
 
 let needs_quoting s =
   String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
@@ -28,6 +29,7 @@ let of_report (r : Report.t) =
       Report.range_to_string r.Report.range;
       escape (Report.flaw_to_string r.Report.flaw);
       string_of_bool r.Report.synthetic;
+      escape (Option.value r.Report.elementary_activity ~default:"");
       escape r.Report.description ]
 
 let of_database db =
@@ -40,3 +42,103 @@ let of_database db =
        Buffer.add_char b '\n')
     (Database.reports db);
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let fail ~line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* RFC-4180 tokeniser: rows of fields, quotes escape commas, quote
+   pairs and raw newlines.  [line] tracks the physical line each row
+   starts on, for error messages. *)
+let rows_of_string s =
+  let len = String.length s in
+  let rows = ref [] and fields = ref [] and buf = Buffer.create 64 in
+  let line = ref 1 and row_line = ref 1 in
+  let push_field () = fields := Buffer.contents buf :: !fields; Buffer.clear buf in
+  let push_row () =
+    push_field ();
+    rows := (!row_line, List.rev !fields) :: !rows;
+    fields := [];
+    row_line := !line
+  in
+  (* state: [`Start] of field, [`Bare] unquoted, [`Quoted], or
+     [`Closed] just after a closing quote. *)
+  let rec go i state =
+    if i >= len then begin
+      (match state with
+       | `Quoted -> fail ~line:!row_line "unterminated quoted field"
+       | `Start when !fields = [] && Buffer.length buf = 0 -> ()  (* no final row *)
+       | `Start | `Bare | `Closed -> push_row ())
+    end
+    else
+      let c = s.[i] in
+      if c = '\n' then incr line;
+      match state, c with
+      | `Quoted, '"' -> go (i + 1) `Closed
+      | `Quoted, c -> Buffer.add_char buf c; go (i + 1) `Quoted
+      | `Closed, '"' -> Buffer.add_char buf '"'; go (i + 1) `Quoted
+      | (`Start | `Bare | `Closed), ',' -> push_field (); go (i + 1) `Start
+      | (`Start | `Bare | `Closed), '\n' -> push_row (); go (i + 1) `Start
+      | (`Start | `Bare | `Closed), '\r'
+        when i + 1 < len && s.[i + 1] = '\n' ->
+          incr line; push_row (); go (i + 2) `Start
+      | `Start, '"' -> go (i + 1) `Quoted
+      | `Closed, _ -> fail ~line:!line "garbage after closing quote"
+      | (`Start | `Bare), c -> Buffer.add_char buf c; go (i + 1) `Bare
+  in
+  go 0 `Start;
+  List.rev !rows
+
+let report_of_fields ~line fields =
+  match fields with
+  | [ id; title; date; category; software; range; flaw; synthetic;
+      elementary_activity; description ] ->
+      let id =
+        match int_of_string_opt id with
+        | Some id -> id
+        | None -> fail ~line "bad id %S" id
+      in
+      let category =
+        match Category.of_string category with
+        | Some c -> c
+        | None -> fail ~line "unknown category %S" category
+      in
+      let range =
+        match Report.range_of_string range with
+        | Some r -> r
+        | None -> fail ~line "unknown range %S" range
+      in
+      let flaw =
+        match Report.flaw_of_string flaw with
+        | Some f -> f
+        | None -> fail ~line "unknown flaw %S" flaw
+      in
+      let synthetic =
+        match bool_of_string_opt synthetic with
+        | Some b -> b
+        | None -> fail ~line "bad synthetic flag %S" synthetic
+      in
+      Report.make ~id ~title ~date ~category ~software ~range ~flaw
+        ?elementary_activity:
+          (if elementary_activity = "" then None else Some elementary_activity)
+        ~description ~synthetic ()
+  | fields -> fail ~line "expected %d fields, got %d" field_count (List.length fields)
+
+let parse s =
+  match rows_of_string s with
+  | exception Parse_error e -> Error e
+  | [] -> Error { line = 1; message = "empty input: missing header" }
+  | (line, hd) :: rows ->
+      if String.concat "," (List.map escape hd) <> header then
+        Error { line; message = "bad header" }
+      else begin
+        match List.map (fun (line, fields) -> report_of_fields ~line fields) rows with
+        | reports -> Ok reports
+        | exception Parse_error e -> Error e
+      end

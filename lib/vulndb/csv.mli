@@ -1,5 +1,7 @@
-(** CSV export of the database (RFC-4180 quoting), so the statistics
-    can be reproduced in external tooling. *)
+(** CSV export {e and} import of the database (RFC-4180 quoting), so
+    the statistics can be reproduced in external tooling and fed back
+    in.  [parse] is a full inverse of [of_database]:
+    [parse (of_database db) = Ok (Database.reports db)]. *)
 
 val header : string
 
@@ -13,3 +15,12 @@ val field_count : int
 
 val escape : string -> string
 (** Quote a field iff it contains a comma, quote or newline. *)
+
+type error = { line : int; message : string }
+(** [line] is the physical line the offending row starts on. *)
+
+val parse : string -> (Report.t list, error) result
+(** Parse a [header]-led CSV document.  Handles quoted fields with
+    embedded commas, doubled quotes and raw newlines; accepts CRLF
+    and LF row endings; an empty [elementary_activity] field reads
+    back as [None]. *)

@@ -46,6 +46,18 @@ let flaw_to_string = function
   | Path_traversal -> "path traversal"
   | Other_flaw -> "other"
 
+let all_ranges = [ Remote; Local; Both ]
+
+let range_of_string s =
+  List.find_opt (fun r -> String.equal (range_to_string r) s) all_ranges
+
+let all_flaws =
+  [ Stack_buffer_overflow; Heap_overflow; Integer_overflow; Format_string;
+    File_race; Path_traversal; Other_flaw ]
+
+let flaw_of_string s =
+  List.find_opt (fun f -> String.equal (flaw_to_string f) s) all_flaws
+
 let pp ppf t =
   Format.fprintf ppf "#%d %s [%s] (%s, %s)" t.id t.title
     (Category.to_string t.category) t.software (range_to_string t.range)

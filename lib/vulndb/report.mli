@@ -50,6 +50,12 @@ val studied_family : flaw -> bool
 
 val range_to_string : range -> string
 
+val range_of_string : string -> range option
+(** Inverse of {!range_to_string}. *)
+
 val flaw_to_string : flaw -> string
+
+val flaw_of_string : string -> flaw option
+(** Inverse of {!flaw_to_string}. *)
 
 val pp : Format.formatter -> t -> unit

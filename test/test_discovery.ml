@@ -55,7 +55,7 @@ let test_search_finds_sendmail_hidden_paths () =
       (fun s -> Apps.Sendmail.scenario ~str_x:s ~str_i:"7")
       (Discovery.Domain_gen.int_strings ~seed:9 ~n:20)
   in
-  let hits = Discovery.Search.hidden_paths model ~scenarios in
+  let hits = (Discovery.Search.hidden_paths model ~scenarios).Discovery.Search.hits in
   let sites =
     List.sort_uniq compare
       (List.map (fun h -> h.Discovery.Search.pfsm.Pfsm.Primitive.name) hits)
@@ -72,7 +72,7 @@ let test_search_clean_on_secured_model () =
       (Discovery.Domain_gen.int_strings ~seed:9 ~n:20)
   in
   Alcotest.(check int) "no hits" 0
-    (List.length (Discovery.Search.hidden_paths model ~scenarios))
+    (List.length (Discovery.Search.hidden_paths model ~scenarios).Discovery.Search.hits)
 
 let test_search_iis_traversal_domain () =
   let app = Apps.Iis.setup () in

@@ -123,7 +123,7 @@ let prop_verify_agrees_with_witness_search =
          match Vf.verify pfsm domain with
          | Vf.Refuted _ -> true
          | Vf.Verified _ -> false
-         | Vf.Domain_too_large _ -> false
+         | Vf.Budget_exhausted _ | Vf.Domain_too_large _ -> false
        in
        let sampled =
          Pfsm.Witness.hidden_witnesses pfsm
@@ -218,6 +218,91 @@ let test_csv_export_shape () =
     (1 + List.length Vulndb.Seed_data.reports)
     (List.length lines);
   Alcotest.(check string) "header" Vulndb.Csv.header (List.hd lines)
+
+let test_csv_parse_round_trip_seed () =
+  let db = Vulndb.Seed_data.database () in
+  match Vulndb.Csv.parse (Vulndb.Csv.of_database db) with
+  | Ok reports ->
+      Alcotest.(check bool) "seed database survives the round trip" true
+        (reports = Vulndb.Database.reports db)
+  | Error e -> Alcotest.failf "parse failed at line %d: %s" e.line e.message
+
+let test_csv_parse_quoted_fields () =
+  let nasty =
+    Vulndb.Report.make ~id:1 ~title:"a,b \"and\" c\nd" ~date:"2002-11-30"
+      ~category:Vulndb.Category.Boundary_condition_error ~software:"x, y"
+      ~elementary_activity:"copy \"input\",\nthen free" ~description:"line1\nline2"
+      ()
+  in
+  let doc = Vulndb.Csv.header ^ "\n" ^ Vulndb.Csv.of_report nasty ^ "\n" in
+  (match Vulndb.Csv.parse doc with
+   | Ok [ r ] ->
+       Alcotest.(check bool) "embedded commas/quotes/newlines survive" true
+         (r = nasty)
+   | Ok rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+   | Error e -> Alcotest.failf "parse failed at line %d: %s" e.line e.message);
+  (* CRLF row endings parse to the same reports *)
+  let plain =
+    Vulndb.Report.make ~id:2 ~title:"a,b" ~date:"2002-11-30"
+      ~category:Vulndb.Category.Race_condition_error ~software:"s"
+      ~description:"d" ()
+  in
+  let crlf = Vulndb.Csv.header ^ "\r\n" ^ Vulndb.Csv.of_report plain ^ "\r\n" in
+  match Vulndb.Csv.parse crlf with
+  | Ok [ r ] -> Alcotest.(check bool) "CRLF accepted" true (r = plain)
+  | Ok _ | Error _ -> Alcotest.fail "CRLF document rejected"
+
+let test_csv_parse_errors () =
+  (match Vulndb.Csv.parse "nonsense\n1,2,3\n" with
+   | Error { line = 1; _ } -> ()
+   | Error e -> Alcotest.failf "wrong line %d" e.line
+   | Ok _ -> Alcotest.fail "bad header accepted");
+  (match Vulndb.Csv.parse (Vulndb.Csv.header ^ "\n1,2,3\n") with
+   | Error { line = 2; _ } -> ()
+   | Error e -> Alcotest.failf "wrong line %d" e.line
+   | Ok _ -> Alcotest.fail "short row accepted");
+  (match
+     Vulndb.Csv.parse
+       (Vulndb.Csv.header
+        ^ "\n7,t,2002-01-01,Not A Category,s,remote,other,false,,d\n")
+   with
+   | Error { line = 2; _ } -> ()
+   | Error e -> Alcotest.failf "wrong line %d" e.line
+   | Ok _ -> Alcotest.fail "unknown category accepted");
+  match Vulndb.Csv.parse (Vulndb.Csv.header ^ "\n7,\"unterminated\n") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated quote accepted"
+
+let prop_csv_round_trip =
+  let open QCheck in
+  let field_gen =
+    (* strings biased towards the characters that exercise quoting *)
+    string_gen_of_size (Gen.int_range 0 12)
+      (Gen.oneof
+         [ Gen.char_range 'a' 'z';
+           Gen.oneofl [ ','; '"'; '\n'; ' '; '%'; '0' ] ])
+  in
+  Test.make ~name:"csv: parse (of_database db) = reports db" ~count:100
+    (pair (list_of_size (Gen.int_range 0 8) (triple field_gen field_gen field_gen))
+       small_nat)
+    (fun (rows, seed) ->
+       let category i =
+         List.nth Vulndb.Category.all (i mod List.length Vulndb.Category.all)
+       in
+       let reports =
+         List.mapi
+           (fun i (title, software, description) ->
+              Vulndb.Report.make ~id:(i + 1) ~title ~date:"2002-11-30"
+                ~category:(category (seed + i)) ~software
+                ?elementary_activity:
+                  (if i mod 2 = 0 || description = "" then None
+                   else Some description)
+                ~description ~synthetic:(i mod 3 = 0) ())
+           rows
+       in
+       let db = Vulndb.Database.of_reports reports in
+       Vulndb.Csv.parse (Vulndb.Csv.of_database db)
+       = Ok (Vulndb.Database.reports db))
 
 (* ---- heap realloc & validate ------------------------------------- *)
 
@@ -451,8 +536,10 @@ let test_scheduler_explore_n_three_party_race () =
               if List.rev !l = [ "check"; "swap"; "open"; "repair" ] then Some "won"
               else None
           | _ -> None)
+      ()
   in
-  Alcotest.(check int) "exactly one winning schedule" 1 (List.length verdicts)
+  Alcotest.(check int) "exactly one winning schedule" 1
+    (List.length verdicts.S.verdicts)
 
 (* ---- %hn ----------------------------------------------------------- *)
 
@@ -554,7 +641,12 @@ let () =
          Alcotest.test_case "trend sums" `Quick test_trend_per_year_sums;
          Alcotest.test_case "trend sorted" `Quick test_trend_years_sorted;
          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
-         Alcotest.test_case "csv export" `Quick test_csv_export_shape ]);
+         Alcotest.test_case "csv export" `Quick test_csv_export_shape;
+         Alcotest.test_case "csv parse round trip" `Quick
+           test_csv_parse_round_trip_seed;
+         Alcotest.test_case "csv quoted fields" `Quick test_csv_parse_quoted_fields;
+         Alcotest.test_case "csv parse errors" `Quick test_csv_parse_errors;
+         QCheck_alcotest.to_alcotest prop_csv_round_trip ]);
       ("heap extensions",
        [ Alcotest.test_case "realloc" `Quick test_heap_realloc_preserves_prefix;
          Alcotest.test_case "validate clean" `Quick test_heap_validate_clean;

@@ -130,7 +130,7 @@ let test_discovery_rwall_scenario_product () =
         ("target.kind", [ V.Str "terminal"; V.Str "regular file" ]) ]
   in
   Alcotest.(check int) "4 scenarios" 4 (List.length scenarios);
-  let hits = Discovery.Search.hidden_paths model ~scenarios in
+  let hits = (Discovery.Search.hidden_paths model ~scenarios).Discovery.Search.hits in
   let names =
     List.sort_uniq compare
       (List.map (fun h -> h.Discovery.Search.pfsm.Pfsm.Primitive.name) hits)

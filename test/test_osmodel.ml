@@ -152,6 +152,21 @@ let test_sched_interleaving_count () =
   Alcotest.(check int) "n=0" 1 (Sched.interleaving_count 0 7);
   Alcotest.(check int) "C(8,4)" 70 (Sched.interleaving_count 4 4)
 
+let test_sched_interleaving_count_saturates () =
+  (* max_int is 2^62 - 1; C(64,32) still fits, C(66,33) is the first
+     central binomial that does not. *)
+  Alcotest.(check int) "C(64,32) exact" 1832624140942590534
+    (Sched.interleaving_count 32 32);
+  Alcotest.(check bool) "C(66,33) saturates" true
+    (max_int = Sched.interleaving_count 33 33);
+  Alcotest.(check bool) "far past the edge still saturates" true
+    (max_int = Sched.interleaving_count 500 500);
+  Alcotest.(check bool) "one-sided overflow saturates" true
+    (max_int = Sched.interleaving_count 1 max_int);
+  match Sched.interleaving_count (-1) 3 with
+  | _ -> Alcotest.fail "negative length accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_sched_interleavings_exhaustive () =
   let merges = Sched.interleavings [ 1; 2 ] [ 3 ] in
   Alcotest.(check int) "3 merges" 3 (List.length merges);
@@ -182,7 +197,7 @@ let test_sched_explore_finds_window () =
   in
   let b = [ Sched.step "b1" (fun l -> l := "b1" :: !l) ] in
   let check l = if !l = [ "a2"; "b1"; "a1" ] then Some "window hit" else None in
-  let verdicts = Sched.explore ~init ~a ~b ~check in
+  let verdicts = (Sched.explore ~init ~a ~b ~check ()).Sched.verdicts in
   Alcotest.(check int) "one winning schedule" 1 (List.length verdicts);
   Alcotest.(check (list string)) "schedule recorded" [ "a1"; "b1"; "a2" ]
     (List.hd verdicts).Sched.schedule
@@ -192,7 +207,8 @@ let test_sched_explore_swallows_step_errors () =
   let a = [ Sched.step "boom" (fun _ -> failwith "boom") ] in
   let b = [ Sched.step "inc" (fun r -> incr r) ] in
   let verdicts =
-    Sched.explore ~init ~a ~b ~check:(fun r -> if !r = 1 then Some () else None)
+    (Sched.explore ~init ~a ~b ~check:(fun r -> if !r = 1 then Some () else None) ())
+      .Sched.verdicts
   in
   Alcotest.(check int) "both schedules complete" 2 (List.length verdicts)
 
@@ -258,6 +274,8 @@ let () =
          Alcotest.test_case "mkfile duplicate" `Quick test_fs_mkfile_duplicate ]);
       ("scheduler",
        [ Alcotest.test_case "interleaving count" `Quick test_sched_interleaving_count;
+         Alcotest.test_case "count saturates at 63-bit" `Quick
+           test_sched_interleaving_count_saturates;
          Alcotest.test_case "exhaustive merges" `Quick
            test_sched_interleavings_exhaustive;
          QCheck_alcotest.to_alcotest prop_interleavings_preserve_order;
