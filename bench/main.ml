@@ -411,6 +411,11 @@ let faults () =
     (Exploit.Fault_matrix.no_divergence reports)
     (Exploit.Fault_matrix.stable ())
 
+let lint_sweep () =
+  section "LINT -- abstract-interpretation linter over the mini-C corpus";
+  let rows = Staticcheck.Linter.corpus_sweep () in
+  Format.printf "%a@." Staticcheck.Linter.pp_sweep rows
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -594,7 +599,17 @@ let substrate_tests =
            let reference = Apps.Ghttpd.setup () in
            let request = Exploit.Attack.ghttpd_request reference in
            let victim = Apps.Ghttpd.setup ~aslr_seed:Exploit.Ablation.aslr_seed () in
-           Apps.Ghttpd.serve victim ~request)) ]
+           Apps.Ghttpd.serve victim ~request));
+    Test.make ~name:"lint/absint-readpostdata"
+      (stage (fun () ->
+           Staticcheck.Absint.analyze ~config:Staticcheck.Linter.corpus_config
+             Minic.Corpus.read_post_data_buggy));
+    Test.make ~name:"lint/validate-tTflag"
+      (stage (fun () ->
+           Staticcheck.Linter.lint ~config:Staticcheck.Linter.corpus_config
+             Minic.Corpus.tTflag_vulnerable));
+    Test.make ~name:"lint/corpus-sweep"
+      (stage (fun () -> Staticcheck.Linter.corpus_sweep ())) ]
 
 let run_benchmarks () =
   section "BECHAMEL -- micro-benchmarks (ns per run, OLS estimate)";
@@ -650,5 +665,6 @@ let () =
   auto_tool ();
   baselines ();
   trend_extension ();
+  lint_sweep ();
   run_benchmarks ();
   Format.printf "@.done.@."

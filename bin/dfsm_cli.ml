@@ -173,6 +173,41 @@ let extract file object_var spec_src ints =
             funcs;
           `Ok ())
 
+(* The abstract-interpretation linter: a mini-C file, or the built-in
+   corpus checked against its ground-truth expectations. *)
+let lint corpus file json arrays =
+  if corpus then begin
+    let rows = Staticcheck.Linter.corpus_sweep () in
+    if json then print_endline (Staticcheck.Linter.sweep_to_json rows)
+    else Format.printf "%a@." Staticcheck.Linter.pp_sweep rows;
+    if Staticcheck.Linter.sweep_ok rows then `Ok ()
+    else `Error (false, "corpus sweep: expectation mismatch")
+  end
+  else
+    match file with
+    | None -> `Error (true, "FILE is required unless --corpus is given")
+    | Some file -> (
+        let source = In_channel.with_open_text file In_channel.input_all in
+        match Minic.Parser.program source with
+        | Error e ->
+            `Error (false, Printf.sprintf "%s: line %d: %s" file
+                      e.Minic.Parser.line e.Minic.Parser.message)
+        | Ok funcs ->
+            let config =
+              { Staticcheck.Absint.default_config with Staticcheck.Absint.arrays }
+            in
+            let reports = Staticcheck.Linter.lint_program ~config funcs in
+            if json then
+              print_endline
+                ("[" ^ String.concat ", "
+                         (List.map Staticcheck.Linter.report_to_json reports)
+                 ^ "]")
+            else
+              List.iter
+                (fun r -> Format.printf "%a@.@." Staticcheck.Linter.pp_report r)
+                reports;
+            `Ok ())
+
 let matrix () =
   Format.printf "%a@." Exploit.Matrix.pp ();
   Format.printf "section-6 claims hold: %b@." (Exploit.Matrix.section6_claims_hold ());
@@ -369,12 +404,37 @@ let extract_cmd =
        ~doc:"Extract implementation predicates from mini-C source and verify them")
     Term.(ret (const extract $ file_arg $ object_arg $ spec_arg $ extract_ints_arg))
 
+let corpus_flag =
+  Arg.(value & flag
+       & info [ "corpus" ]
+         ~doc:"Lint the built-in vulnerability corpus against its expectations; \
+               exit nonzero on any missed vulnerable or flagged fixed variant.")
+
+let lint_file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"Mini-C source file to lint.")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let lint_arrays_arg =
+  Arg.(value & opt_all (pair ~sep:':' string int) []
+       & info [ "array" ] ~docv:"NAME:COUNT"
+         ~doc:"Register a global array and its element count (repeatable).")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Abstract-interpretation linter with interpreter-validated findings")
+    Term.(ret (const lint $ corpus_flag $ lint_file_arg $ json_flag
+               $ lint_arrays_arg))
+
 let main =
   Cmd.group
     (Cmd.info "dfsm" ~version:"1.0.0"
        ~doc:"Data-driven FSM analysis of security vulnerabilities (DSN 2003)")
     [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
       lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
-      baselines_cmd; extract_cmd; matrix_cmd; export_cmd; faults_cmd ]
+      baselines_cmd; extract_cmd; lint_cmd; matrix_cmd; export_cmd; faults_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -5,12 +5,42 @@ type danger =
 type site = {
   danger : danger;
   guard : Ast.expr;
+  operand : Ast.expr;
 }
 
 let conj guards =
   match guards with
   | [] -> Ast.Int_lit 1
   | g :: rest -> List.fold_left (fun acc g' -> Ast.Bin (Ast.And, acc, g')) g rest
+
+let rec expr_vars acc (e : Ast.expr) =
+  match e with
+  | Ast.Var v -> v :: acc
+  | Ast.Int_lit _ | Ast.Str_lit _ -> acc
+  | Ast.Bin (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Ast.Not e | Ast.Atoi e | Ast.Strlen e -> expr_vars acc e
+
+let mentions v e = List.mem v (expr_vars [] e)
+
+(* Variables written anywhere in a statement list (including nested). *)
+let rec assigned_in stmts =
+  List.concat_map
+    (fun (stmt : Ast.stmt) ->
+       match stmt with
+       | Ast.Decl_int (v, _) | Ast.Assign (v, _) -> [ v ]
+       | Ast.Recv_into (rc, _, _, _) -> [ rc ]
+       | Ast.If (_, a, b) -> assigned_in a @ assigned_in b
+       | Ast.While (_, b) | Ast.Do_while (b, _) -> assigned_in b
+       | Ast.Decl_buf _ | Ast.Decl_buf_dyn _ | Ast.Array_store _
+       | Ast.Strcpy _ | Ast.Strncpy _ | Ast.Reject _ | Ast.Return _ -> [])
+    stmts
+
+(* A collected guard only keeps describing the state while the
+   variables it mentions are untouched; a write in between invalidates
+   the conjunct (check-then-clobber would otherwise smuggle a stale
+   check into the path condition). *)
+let drop_clobbered vs guards =
+  List.filter (fun g -> not (List.exists (fun v -> mentions v g) vs)) guards
 
 (* Does executing this statement list always leave the function? *)
 let rec always_exits stmts =
@@ -26,41 +56,62 @@ let rec always_exits stmts =
 
 let dangerous_sites (f : Ast.func) =
   let sites = ref [] in
-  let emit danger guards = sites := { danger; guard = conj (List.rev guards) } :: !sites in
+  let emit danger operand guards =
+    sites := { danger; guard = conj (List.rev guards); operand } :: !sites
+  in
   let rec walk guards stmts =
     match stmts with
     | [] -> ()
     | (stmt : Ast.stmt) :: rest ->
         let continue_with guards = walk guards rest in
         (match stmt with
-         | Ast.Array_store (array, _, _) ->
-             emit (Store_to array) guards;
+         | Ast.Array_store (array, idx_e, _) ->
+             emit (Store_to array) idx_e guards;
              continue_with guards
-         | Ast.Strcpy (buffer, _) | Ast.Strncpy (buffer, _, _)
-         | Ast.Recv_into (_, buffer, _, _) ->
-             emit (Copy_to buffer) guards;
+         | Ast.Strcpy (buffer, src) | Ast.Strncpy (buffer, src, _) ->
+             emit (Copy_to buffer) src guards;
              continue_with guards
+         | Ast.Recv_into (rc, buffer, off_e, _) ->
+             emit (Copy_to buffer) off_e guards;
+             (* the call writes [rc] *)
+             continue_with (drop_clobbered [ rc ] guards)
          | Ast.If (cond, then_, else_) ->
              walk (cond :: guards) then_;
              walk (Ast.Not cond :: guards) else_;
              (* Code after the If runs under the negation of any
-                branch condition whose body always exits. *)
+                branch condition whose body always exits — and only
+                the conjuncts no fall-through branch clobbered. *)
+             let fall_assigns =
+               (if always_exits then_ then [] else assigned_in then_)
+               @ (if always_exits else_ then [] else assigned_in else_)
+             in
              let after =
-               (if always_exits then_ then [ Ast.Not cond ] else [])
-               @ (if always_exits else_ then [ cond ] else [])
-               @ guards
+               (if always_exits then_ then
+                  drop_clobbered fall_assigns [ Ast.Not cond ]
+                else [])
+               @ (if always_exits else_ then
+                    drop_clobbered fall_assigns [ cond ]
+                  else [])
+               @ drop_clobbered fall_assigns guards
              in
              if not (always_exits then_ && always_exits else_) then
                walk after rest
          | Ast.While (cond, body) ->
-             walk (cond :: guards) body;
-             continue_with (Ast.Not cond :: guards)
+             (* from iteration two on, guards over body-assigned
+                variables are stale — drop them before entering *)
+             let inner = drop_clobbered (assigned_in body) guards in
+             walk (cond :: inner) body;
+             continue_with (Ast.Not cond :: inner)
          | Ast.Do_while (body, cond) ->
-             (* the first iteration runs unconditionally *)
-             walk guards body;
-             continue_with (Ast.Not cond :: guards)
+             (* the first iteration runs unconditionally, but later
+                ones see the body's writes; keep only the stable part *)
+             let inner = drop_clobbered (assigned_in body) guards in
+             walk inner body;
+             continue_with (Ast.Not cond :: inner)
          | Ast.Reject _ | Ast.Return _ -> ()   (* unreachable afterwards *)
-         | Ast.Decl_int _ | Ast.Decl_buf _ | Ast.Decl_buf_dyn _ | Ast.Assign _ ->
+         | Ast.Decl_int (v, _) | Ast.Assign (v, _) ->
+             continue_with (drop_clobbered [ v ] guards)
+         | Ast.Decl_buf _ | Ast.Decl_buf_dyn _ ->
              continue_with guards)
   in
   walk [] f.Ast.body;
@@ -113,13 +164,28 @@ and connective ~object_var a b build =
   | Some p, Some q -> Some (build p q)
   | _, _ -> None
 
+let impl_predicate_at ~object_var site =
+  match translate ~object_var site.guard with
+  | Some p -> Some (Pfsm.Simplify.simplify p)
+  | None -> None
+
 let impl_predicate f ~object_var =
   match dangerous_sites f with
   | [] -> None
-  | { guard; _ } :: _ -> (
-      match translate ~object_var guard with
-      | Some p -> Some (Pfsm.Simplify.simplify p)
-      | None -> None)
+  | site :: _ -> impl_predicate_at ~object_var site
+
+let site_relevant ~object_var site = mentions object_var site.operand
+
+let weakest_predicate f ~object_var =
+  match List.filter (site_relevant ~object_var) (dangerous_sites f) with
+  | [] -> None
+  | sites ->
+      let preds = List.map (impl_predicate_at ~object_var) sites in
+      if List.exists Option.is_none preds then None
+      else
+        Some
+          (Pfsm.Simplify.simplify
+             (Pfsm.Predicate.disj (List.filter_map Fun.id preds)))
 
 let pfsm_of ~name ~kind ~activity ~spec ~object_var f =
   match impl_predicate f ~object_var with

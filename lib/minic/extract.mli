@@ -20,13 +20,21 @@ type site = {
   danger : danger;
   guard : Ast.expr;
       (** conjunction of branch conditions dominating the operation *)
+  operand : Ast.expr;
+      (** the expression under check: the store's index, or the
+          copy's source (the recv's offset) — what relates a site to
+          an object variable *)
 }
 
 val dangerous_sites : Ast.func -> site list
 (** Every dangerous operation with its path condition, in program
     order.  Branches that unconditionally exit ([Reject]/[Return])
     contribute their negated condition to the code after them — the
-    C guard idiom [if (bad) return -1;]. *)
+    C guard idiom [if (bad) return -1;].  A conjunct only survives
+    while the variables it mentions are unwritten: an assignment
+    between check and use drops it (check-then-clobber), and guards
+    entering a loop body are pre-filtered by the variables the body
+    assigns, since from the second iteration on they are stale. *)
 
 val translate : object_var:string -> Ast.expr -> Pfsm.Predicate.t option
 (** Render a guard as a predicate over [Self] (the named variable's
@@ -34,9 +42,22 @@ val translate : object_var:string -> Ast.expr -> Pfsm.Predicate.t option
     (comparisons, boolean connectives, [strlen] of the object,
     integer literals). *)
 
+val impl_predicate_at : object_var:string -> site -> Pfsm.Predicate.t option
+(** The site's path condition, translated and simplified. *)
+
 val impl_predicate : Ast.func -> object_var:string -> Pfsm.Predicate.t option
 (** The path condition of the {e first} dangerous site, translated
     and simplified — the implementation predicate of the activity. *)
+
+val site_relevant : object_var:string -> site -> bool
+(** Whether the site's operand mentions the object variable. *)
+
+val weakest_predicate : Ast.func -> object_var:string -> Pfsm.Predicate.t option
+(** The per-function implementation predicate across {e all} sites
+    relevant to [object_var]: the disjunction of their path
+    conditions — the weakest condition under which some relevant
+    dangerous operation runs.  [None] when no relevant site exists or
+    any relevant guard leaves the translatable fragment. *)
 
 val pfsm_of :
   name:string ->

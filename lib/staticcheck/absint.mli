@@ -1,0 +1,49 @@
+(** The abstract interpreter: a forward analysis of a {!Minic.Ast}
+    function over {!Absval} states, with widening at loop heads.
+
+    Checkers run at the dangerous statements ([Array_store], [Strcpy],
+    [Strncpy], [Recv_into]) and emit {e raw} findings — abstract facts
+    saying the bad state is reachable in the over-approximation.  The
+    validation bridge ({!Validate}) then tries to concretize each raw
+    into an input {!Minic.Interp} actually crashes on.
+
+    The analysis assumes the documented precondition that integer
+    parameters are non-negative ([\[0, 2^31-1\]] by default): callers
+    are expected to have sanitised signs, and the negative-length
+    ReadPOSTData hole is Bugtraq #5774, a separate report from the
+    #6255 loop-condition bug this linter targets.  Arithmetic is
+    unbounded (no 32-bit wrap except at [atoi]); that is the standard
+    interval-linter approximation and is compensated by validation. *)
+
+type config = {
+  arrays : (string * int) list;
+      (** global [int] array sizes, as {!Minic.Interp.run} takes them *)
+  int_params : Interval.t;
+      (** initial interval of every integer parameter *)
+}
+
+val default_config : config
+(** No arrays; integer parameters in [\[0, 2^31 - 1\]]. *)
+
+(** The abstract fact behind a raw finding — what the concretizer
+    mines for candidate witnesses. *)
+type fact =
+  | Index_fact of { idx : Absval.num; count : int option }
+  | Copy_fact of { len : Absval.num; cap : Absval.num }
+  | Recv_fact of { off : Absval.num; max : Absval.num; cap : Absval.num }
+
+type raw = {
+  kind : Finding.kind;
+  path : Cfg.path;
+  detail : string;
+  fact : fact;
+}
+
+type result = {
+  cfg : Cfg.t;
+  raws : raw list;          (** deduplicated by (path, kind), program order *)
+  loop_iterations : int;    (** total fixpoint iterations across loops *)
+  widenings : int;          (** widening applications *)
+}
+
+val analyze : ?config:config -> Minic.Ast.func -> result

@@ -1,0 +1,172 @@
+module A = Minic.Ast
+
+type path = int list
+
+type node = Entry | Exit | Stmt of path
+
+type edge_kind = Seq | If_true | If_false | Loop_back | Loop_exit
+
+type edge = { src : node; dst : node; kind : edge_kind }
+
+type t = {
+  func : A.func;
+  nodes : node list;
+  edges : edge list;
+  table : (path * A.stmt) list;
+}
+
+(* One walk builds the side-table, program-order node list, and edges.
+   [pending] is the dangling frontier: edges waiting for their target. *)
+let build (f : A.func) =
+  let table = ref [] and nodes = ref [] and edges = ref [] in
+  let register path stmt =
+    table := (path, stmt) :: !table;
+    nodes := Stmt path :: !nodes
+  in
+  let connect pending target =
+    List.iter (fun (src, kind) -> edges := { src; dst = target; kind } :: !edges)
+      pending
+  in
+  let rec walk_block prefix pending stmts =
+    List.fold_left
+      (fun (i, pending) stmt ->
+         (i + 1, walk_stmt (prefix @ [ i ]) pending stmt))
+      (0, pending) stmts
+    |> snd
+  and walk_stmt path pending (stmt : A.stmt) =
+    let n = Stmt path in
+    register path stmt;
+    match stmt with
+    | A.Decl_int _ | A.Decl_buf _ | A.Decl_buf_dyn _ | A.Assign _
+    | A.Array_store _ | A.Strcpy _ | A.Strncpy _ | A.Recv_into _ ->
+        connect pending n;
+        [ (n, Seq) ]
+    | A.Reject _ | A.Return _ ->
+        connect pending n;
+        connect [ (n, Seq) ] Exit;
+        []
+    | A.If (_, then_, else_) ->
+        connect pending n;
+        let out_t = walk_block (path @ [ 0 ]) [ (n, If_true) ] then_ in
+        let out_e = walk_block (path @ [ 1 ]) [ (n, If_false) ] else_ in
+        out_t @ out_e
+    | A.While (_, body) ->
+        connect pending n;
+        let out = walk_block (path @ [ 0 ]) [ (n, If_true) ] body in
+        List.iter (fun (src, _) -> edges := { src; dst = n; kind = Loop_back } :: !edges)
+          out;
+        [ (n, Loop_exit) ]
+    | A.Do_while (body, _) ->
+        (* the condition node sits after the body; the body is entered
+           directly, first from the predecessors, then via the back-edge *)
+        (match body with
+         | [] -> connect pending n
+         | _ ->
+             let out = walk_block (path @ [ 0 ]) pending body in
+             connect out n;
+             edges :=
+               { src = n; dst = Stmt (path @ [ 0; 0 ]); kind = Loop_back } :: !edges);
+        [ (n, Loop_exit) ]
+  in
+  let out = walk_block [] [ (Entry, Seq) ] f.A.body in
+  connect out Exit;
+  { func = f;
+    nodes = Entry :: Exit :: List.rev !nodes;
+    edges = List.rev !edges;
+    table = List.rev !table }
+
+let stmt_at t path = List.assoc_opt path t.table
+
+let successors t node =
+  List.filter_map
+    (fun e -> if e.src = node then Some (e.dst, e.kind) else None)
+    t.edges
+
+let node_count t = List.length t.nodes
+let edge_count t = List.length t.edges
+
+let back_edge_count t =
+  List.length (List.filter (fun e -> e.kind = Loop_back) t.edges)
+
+(* Render a path against the function's AST so branch indices become
+   "then" / "else" / "body". *)
+let path_segments (f : A.func) path =
+  let rec go block path =
+    match path with
+    | [] -> []
+    | i :: rest -> (
+        match List.nth_opt block i with
+        | None -> List.map string_of_int path
+        | Some stmt -> (
+            string_of_int i
+            ::
+            (match stmt, rest with
+             | _, [] -> []
+             | A.If (_, then_, _), 0 :: rest' -> "then" :: go then_ rest'
+             | A.If (_, _, else_), 1 :: rest' -> "else" :: go else_ rest'
+             | (A.While (_, body) | A.Do_while (body, _)), 0 :: rest' ->
+                 "body" :: go body rest'
+             | _, rest' -> List.map string_of_int rest')))
+  in
+  go f.A.body path
+
+let pp_path ppf path =
+  Format.pp_print_string ppf (String.concat "." (List.map string_of_int path))
+
+let stmt_headline stmt =
+  let s = Format.asprintf "%a" (A.pp_stmt ~indent:0) stmt in
+  let s = match String.index_opt s '\n' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let s = String.trim s in
+  if String.length s > 48 then String.sub s 0 45 ^ "..." else s
+
+let path_to_string t path =
+  let loc = String.concat "." (path_segments t.func path) in
+  match stmt_at t path with
+  | Some stmt -> Printf.sprintf "%s: %s" loc (stmt_headline stmt)
+  | None -> loc
+
+let node_id = function
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | Stmt p -> "s_" ^ String.concat "_" (List.map string_of_int p)
+
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let to_dot t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n  rankdir=TB;\n" t.func.A.name);
+  List.iter
+    (fun n ->
+       let label =
+         match n with
+         | Entry -> "entry"
+         | Exit -> "exit"
+         | Stmt p -> (
+             match stmt_at t p with
+             | Some s -> escape (stmt_headline s)
+             | None -> node_id n)
+       in
+       let shape = match n with Entry | Exit -> "ellipse" | Stmt _ -> "box" in
+       Buffer.add_string b
+         (Printf.sprintf "  %s [shape=%s, label=\"%s\"];\n" (node_id n) shape label))
+    t.nodes;
+  List.iter
+    (fun e ->
+       let style =
+         match e.kind with
+         | Seq -> ""
+         | If_true -> " [label=\"T\"]"
+         | If_false -> " [label=\"F\"]"
+         | Loop_back -> " [style=dashed, label=\"back\"]"
+         | Loop_exit -> " [label=\"exit\"]"
+       in
+       Buffer.add_string b
+         (Printf.sprintf "  %s -> %s%s;\n" (node_id e.src) (node_id e.dst) style))
+    t.edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,48 @@
+(** A control-flow graph over {!Minic.Ast} functions, with
+    per-statement {e paths} so diagnostics can point at code without
+    changing the AST.
+
+    A path addresses a statement structurally: [\[2\]] is the third
+    statement of the function body; inside an [If] at path [p], the
+    then-branch is [p @ \[0; j\]] and the else-branch [p @ \[1; j\]];
+    a loop body is [p @ \[0; j\]].  The CFG itself is a conventional
+    node/edge graph — [Entry], [Exit], and one node per statement —
+    with labelled edges including loop back-edges, built in one AST
+    walk alongside the side-table from paths to statements. *)
+
+type path = int list
+
+type node = Entry | Exit | Stmt of path
+
+type edge_kind = Seq | If_true | If_false | Loop_back | Loop_exit
+
+type edge = { src : node; dst : node; kind : edge_kind }
+
+type t = {
+  func : Minic.Ast.func;
+  nodes : node list;             (** [Entry], [Exit], then program order *)
+  edges : edge list;
+  table : (path * Minic.Ast.stmt) list;   (** the side-table *)
+}
+
+val build : Minic.Ast.func -> t
+
+val stmt_at : t -> path -> Minic.Ast.stmt option
+
+val successors : t -> node -> (node * edge_kind) list
+
+val node_count : t -> int
+val edge_count : t -> int
+val back_edge_count : t -> int
+(** Loop back-edges — the places the abstract interpreter widens. *)
+
+val pp_path : Format.formatter -> path -> unit
+(** Raw dotted indices, e.g. ["2.0.1"]. *)
+
+val path_to_string : t -> path -> string
+(** Resolves branch indices against the AST and appends a one-line
+    rendering of the addressed statement, e.g.
+    ["3.then.0: strcpy(buf, request);"]. *)
+
+val to_dot : t -> string
+(** Graphviz rendering, statements as node labels. *)

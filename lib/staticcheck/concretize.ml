@@ -1,0 +1,99 @@
+module A = Minic.Ast
+module I = Interval
+module V = Absval
+
+let dedup l = List.sort_uniq compare l
+
+let clamp lo hi v = max lo (min hi v)
+
+(* Index witnesses: a small negative (reliably inside the mapped
+   segment, so the interpreter reports Array_oob rather than a wild
+   fault), the abstract lower bound, and for the high direction the
+   count and the abstract upper bound. *)
+let index_ints (idx : V.num) count =
+  let neg =
+    match I.lo_int idx.V.itv with
+    | Some l when l < 0 -> [ max l (-65536); -1 ]
+    | _ -> [ -1 ]
+  in
+  let high =
+    match count with
+    | Some c -> (
+        c
+        ::
+        (match I.hi_int idx.V.itv with
+         | Some h when h >= c -> [ clamp (-65536) 65536 h ]
+         | _ -> []))
+    | None -> []
+  in
+  dedup (neg @ high)
+
+(* Copy-length witnesses: the smallest overflowing length is
+   capacity's lower bound (wrote = len + 1 > capacity), kept only if
+   the abstract length admits it. *)
+let copy_lengths (len : V.num) (cap : V.num) =
+  let cap_lo =
+    match I.lo_int cap.V.itv with Some c when c >= 0 -> c | _ -> 256
+  in
+  let admissible l =
+    l >= 0 && l <= 1 lsl 20
+    &&
+    match I.hi_int len.V.itv with Some h -> l <= h | None -> true
+  in
+  let base = [ cap_lo; cap_lo + 1; cap_lo + 63 ] in
+  let lens = List.filter admissible base in
+  dedup (if lens = [] then [ cap_lo ] else lens)
+
+(* Socket bodies big enough that the recv loop runs past the smallest
+   capacity the abstraction admits. *)
+let recv_sockets (max : V.num) (cap : V.num) =
+  let cap_lo =
+    match I.lo_int cap.V.itv with Some c when c >= 0 -> c | _ -> 1024
+  in
+  let m = match I.hi_int max.V.itv with Some m when m > 0 -> m | _ -> 1024 in
+  let mk n = String.make (clamp 1 (1 lsl 20) n) 'z' in
+  dedup [ mk (cap_lo + m); mk ((2 * cap_lo) + (2 * m)) ]
+
+let rec product = function
+  | [] -> [ [] ]
+  | cs :: rest ->
+      let tails = product rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) cs
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let candidates (f : A.func) (raw : Absint.raw) =
+  let int_cands, str_cands, sockets =
+    match raw.Absint.fact with
+    | Absint.Index_fact { idx; count } ->
+        let ints = index_ints idx count in
+        let strs =
+          List.concat_map
+            (fun w ->
+               if w < 0 then
+                 (* the decimal itself, and its 32-bit-wrapping alias *)
+                 [ string_of_int w; string_of_int (w + 4294967296) ]
+               else [ string_of_int w ])
+            ints
+          @ [ "1" ]
+        in
+        (dedup ((0 :: 1 :: List.filter (fun v -> v >= 0) ints)), dedup strs, [ "" ])
+    | Absint.Copy_fact { len; cap } ->
+        let lens = copy_lengths len cap in
+        ( [ 0; 1 ],
+          dedup (List.map (fun l -> String.make l 'a') lens @ [ "1" ]),
+          [ "" ] )
+    | Absint.Recv_fact { off = _; max; cap } ->
+        ([ 0; 1; 4096 ], [ "1" ], recv_sockets max cap @ [ "" ])
+  in
+  let per_param =
+    List.map
+      (function
+        | A.Int_param _ -> List.map (fun v -> Minic.Interp.Vint v) int_cands
+        | A.Str_param _ -> List.map (fun s -> Minic.Interp.Vstr s) str_cands)
+      f.A.params
+  in
+  let vectors = take 256 (product per_param) in
+  List.concat_map
+    (fun sock -> List.map (fun args -> (args, sock)) vectors)
+    sockets

@@ -1,0 +1,14 @@
+(** From abstract witness to concrete candidate inputs.
+
+    Each raw finding carries the abstract fact it was derived from
+    ({!Absint.fact}); this module mines the fact's intervals for the
+    boundary inputs most likely to reproduce the violation — negative
+    and 2^32-wrapping decimal strings for atoi-fed indices, strings of
+    exactly the overflowing length for copies, oversized socket bodies
+    for recv — and assembles candidate argument vectors over the
+    function's parameters. *)
+
+val candidates :
+  Minic.Ast.func -> Absint.raw -> (Minic.Interp.value list * string) list
+(** Candidate [(args, socket)] pairs, bounded (at most a few hundred),
+    most promising first. *)

@@ -1,0 +1,153 @@
+type direction = Low | High
+
+type kind =
+  | Array_store_oob of { array : string; direction : direction }
+  | Atoi_wrap_index of { array : string }
+  | Strcpy_unbounded of { buffer : string }
+  | Strcpy_off_by_one of { buffer : string }
+  | Strcpy_overflow of { buffer : string }
+  | Strncpy_overflow of { buffer : string }
+  | Recv_overflow of { buffer : string }
+
+type witness = {
+  args : Minic.Interp.value list;
+  socket : string;
+  arrays : (string * int) list;
+  outcome : Minic.Interp.outcome;
+}
+
+type status = Confirmed of witness | Unconfirmed
+
+type t = {
+  func : string;
+  kind : kind;
+  path : Cfg.path;
+  site : string;
+  detail : string;
+  status : status;
+  pfsm : string option;
+      (* what the Pfsm.Verify corroboration said, rendered *)
+}
+
+let target = function
+  | Array_store_oob { array; _ } | Atoi_wrap_index { array } -> array
+  | Strcpy_unbounded { buffer } | Strcpy_off_by_one { buffer }
+  | Strcpy_overflow { buffer } | Strncpy_overflow { buffer }
+  | Recv_overflow { buffer } -> buffer
+
+let kind_name = function
+  | Array_store_oob { direction = Low; _ } -> "array-store-oob-low"
+  | Array_store_oob { direction = High; _ } -> "array-store-oob-high"
+  | Atoi_wrap_index _ -> "atoi-wrap-index"
+  | Strcpy_unbounded _ -> "strcpy-unbounded"
+  | Strcpy_off_by_one _ -> "strcpy-off-by-one"
+  | Strcpy_overflow _ -> "strcpy-overflow"
+  | Strncpy_overflow _ -> "strncpy-overflow"
+  | Recv_overflow _ -> "recv-overflow"
+
+let is_confirmed t = match t.status with Confirmed _ -> true | Unconfirmed -> false
+
+(* A replayed outcome confirms a finding when it is a memory violation
+   on the finding's target (a machine fault also counts for copies:
+   a large enough overflow runs off the mapped segment before the
+   capacity book-keeping fires). *)
+let outcome_matches kind (outcome : Minic.Interp.outcome) =
+  match kind, outcome with
+  | (Array_store_oob { array; _ } | Atoi_wrap_index { array }),
+    Minic.Interp.Memory_violation (Minic.Interp.Array_oob { array = a; _ }) ->
+      a = array
+  | (Strcpy_unbounded { buffer } | Strcpy_off_by_one { buffer }
+    | Strcpy_overflow { buffer } | Strncpy_overflow { buffer }
+    | Recv_overflow { buffer }),
+    Minic.Interp.Memory_violation (Minic.Interp.Buffer_overflow { buffer = b; _ }) ->
+      b = buffer
+  | (Strcpy_unbounded _ | Strcpy_off_by_one _ | Strcpy_overflow _
+    | Strncpy_overflow _ | Recv_overflow _),
+    Minic.Interp.Memory_violation (Minic.Interp.Machine_fault _) ->
+      true
+  | _ -> false
+
+(* ---- rendering ---------------------------------------------------- *)
+
+let pp_status ppf = function
+  | Unconfirmed -> Format.pp_print_string ppf "UNCONFIRMED"
+  | Confirmed w ->
+      Format.fprintf ppf "CONFIRMED (%a)" Minic.Interp.pp_outcome w.outcome
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>%s: %s on %s [%a]@,at %s@,%s@,%a" t.func
+    (kind_name t.kind) (target t.kind) Cfg.pp_path t.path t.site t.detail
+    pp_status t.status;
+  (match t.status with
+   | Confirmed w ->
+       let arg = function
+         | Minic.Interp.Vint n -> string_of_int n
+         | Minic.Interp.Vstr s ->
+             if String.length s <= 24 then Printf.sprintf "%S" s
+             else Printf.sprintf "<%d-byte string>" (String.length s)
+       in
+       Format.fprintf ppf "@,witness args: (%s)%s"
+         (String.concat ", " (List.map arg w.args))
+         (if w.socket = "" then ""
+          else Printf.sprintf ", socket: %d bytes" (String.length w.socket))
+   | Unconfirmed -> ());
+  (match t.pfsm with
+   | Some note -> Format.fprintf ppf "@,pfsm: %s" note
+   | None -> ());
+  Format.fprintf ppf "@]"
+
+(* ---- JSON (hand-rolled; the toolchain has no JSON package) -------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | '\r' -> Buffer.add_string b "\\r"
+       | c when Char.code c < 0x20 ->
+           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let witness_to_json w =
+  let arg = function
+    | Minic.Interp.Vint n -> Printf.sprintf "{\"int\": %d}" n
+    | Minic.Interp.Vstr s ->
+        if String.length s <= 64 then Printf.sprintf "{\"str\": %s}" (json_str s)
+        else
+          Printf.sprintf "{\"str_len\": %d, \"str_head\": %s}" (String.length s)
+            (json_str (String.sub s 0 16))
+  in
+  Printf.sprintf
+    "{\"args\": [%s], \"socket_len\": %d, \"arrays\": [%s], \"outcome\": %s}"
+    (String.concat ", " (List.map arg w.args))
+    (String.length w.socket)
+    (String.concat ", "
+       (List.map (fun (n, c) -> Printf.sprintf "{\"array\": %s, \"count\": %d}" (json_str n) c)
+          w.arrays))
+    (json_str (Format.asprintf "%a" Minic.Interp.pp_outcome w.outcome))
+
+let to_json t =
+  let status, witness =
+    match t.status with
+    | Confirmed w -> ("confirmed", Printf.sprintf ", \"witness\": %s" (witness_to_json w))
+    | Unconfirmed -> ("unconfirmed", "")
+  in
+  let pfsm =
+    match t.pfsm with
+    | Some note -> Printf.sprintf ", \"pfsm\": %s" (json_str note)
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"func\": %s, \"kind\": %s, \"target\": %s, \"path\": [%s], \"site\": %s, \
+     \"detail\": %s, \"status\": %s%s%s}"
+    (json_str t.func) (json_str (kind_name t.kind)) (json_str (target t.kind))
+    (String.concat ", " (List.map string_of_int t.path))
+    (json_str t.site) (json_str t.detail) (json_str status) witness pfsm

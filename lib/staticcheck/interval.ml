@@ -1,0 +1,165 @@
+type bound = Minf | Fin of int | Pinf
+
+type t = Bot | Itv of bound * bound
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+let top = Itv (Minf, Pinf)
+let bot = Bot
+let const n = Itv (Fin n, Fin n)
+let range lo hi = if lo > hi then Bot else Itv (Fin lo, Fin hi)
+
+let norm lo hi =
+  match lo, hi with
+  | Pinf, _ | _, Minf -> Bot
+  | Fin a, Fin b when a > b -> Bot
+  | _ -> Itv (lo, hi)
+
+let of_bounds lo hi = norm lo hi
+
+let int32_full = Itv (Fin (-0x8000_0000), Fin 0x7fff_ffff)
+let nat = Itv (Fin 0, Pinf)
+
+let is_bot t = t = Bot
+
+let mem n = function
+  | Bot -> false
+  | Itv (lo, hi) ->
+      (match lo with Minf -> true | Fin a -> a <= n | Pinf -> false)
+      && (match hi with Pinf -> true | Fin b -> n <= b | Minf -> false)
+
+let lo = function Bot -> invalid_arg "Interval.lo: bot" | Itv (l, _) -> l
+let hi = function Bot -> invalid_arg "Interval.hi: bot" | Itv (_, h) -> h
+
+let lo_int = function Itv (Fin a, _) -> Some a | _ -> None
+let hi_int = function Itv (_, Fin b) -> Some b | _ -> None
+
+(* bound orderings *)
+let bmin a b =
+  match a, b with
+  | Minf, _ | _, Minf -> Minf
+  | Pinf, x | x, Pinf -> x
+  | Fin x, Fin y -> Fin (min x y)
+
+let bmax a b =
+  match a, b with
+  | Pinf, _ | _, Pinf -> Pinf
+  | Minf, x | x, Minf -> x
+  | Fin x, Fin y -> Fin (max x y)
+
+let ble a b = bmin a b = a || a = b
+
+let join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Itv (l1, h1), Itv (l2, h2) -> Itv (bmin l1 l2, bmax h1 h2)
+
+let meet a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) -> norm (bmax l1 l2) (bmin h1 h2)
+
+let widen old next =
+  match old, next with
+  | Bot, x -> x
+  | x, Bot -> x
+  | Itv (l1, h1), Itv (l2, h2) ->
+      let lo = if ble l1 l2 then l1 else Minf in
+      let hi = if ble h2 h1 then h1 else Pinf in
+      Itv (lo, hi)
+
+let equal a b = a = b
+
+let subset a b =
+  match a, b with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Itv (l1, h1), Itv (l2, h2) -> ble l2 l1 && ble h1 h2
+
+(* bound arithmetic; [Minf + Pinf] never arises because each sum below
+   pairs two like-signed extremes of the operand intervals *)
+let badd a b =
+  match a, b with
+  | Minf, _ | _, Minf -> Minf
+  | Pinf, _ | _, Pinf -> Pinf
+  | Fin x, Fin y -> Fin (x + y)
+
+let bneg = function Minf -> Pinf | Pinf -> Minf | Fin x -> Fin (-x)
+
+let add a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) -> Itv (badd l1 l2, badd h1 h2)
+
+let neg = function
+  | Bot -> Bot
+  | Itv (l, h) -> Itv (bneg h, bneg l)
+
+let sub a b = add a (neg b)
+
+let bmul a b =
+  match a, b with
+  | Fin 0, _ | _, Fin 0 -> Fin 0
+  | Fin x, Fin y -> Fin (x * y)
+  | (Pinf | Fin _), (Pinf | Fin _) ->
+      (match a, b with
+       | Fin x, _ when x < 0 -> Minf
+       | _, Fin y when y < 0 -> Minf
+       | _ -> Pinf)
+  | Minf, Minf -> Pinf
+  | Minf, Fin y | Fin y, Minf -> if y < 0 then Pinf else Minf
+  | Minf, Pinf | Pinf, Minf -> Minf
+
+let mul a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) ->
+      let products = [ bmul l1 l2; bmul l1 h2; bmul h1 l2; bmul h1 h2 ] in
+      Itv
+        (List.fold_left bmin Pinf products, List.fold_left bmax Minf products)
+
+let min_ a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (l1, h1), Itv (l2, h2) -> Itv (bmin l1 l2, bmin h1 h2)
+
+let clamp_lo n t = meet t (Itv (Fin n, Pinf))
+let clamp_hi n t = meet t (Itv (Minf, Fin n))
+
+let bpred = function Fin x -> Fin (x - 1) | b -> b
+let bsucc = function Fin x -> Fin (x + 1) | b -> b
+
+let refine op a b =
+  match a, b with
+  | Bot, _ | _, Bot -> (Bot, Bot)
+  | Itv (la, ha), Itv (lb, hb) -> (
+      match op with
+      | Lt -> (norm la (bmin ha (bpred hb)), norm (bmax lb (bsucc la)) hb)
+      | Le -> (norm la (bmin ha hb), norm (bmax lb la) hb)
+      | Gt -> (norm (bmax la (bsucc lb)) ha, norm lb (bmin hb (bpred ha)))
+      | Ge -> (norm (bmax la lb) ha, norm lb (bmin hb ha))
+      | Eq ->
+          let m = meet a b in
+          (m, m)
+      | Ne -> (
+          (* only singleton exclusions shave anything off *)
+          let shave t = function
+            | Itv (Fin x, Fin y) when x = y -> (
+                match t with
+                | Itv (Fin l, h) when l = x -> norm (Fin (l + 1)) h
+                | Itv (l, Fin h) when h = x -> norm l (Fin (h - 1))
+                | t -> t)
+            | _ -> t
+          in
+          (shave a b, shave b a)))
+
+let pp_bound ppf = function
+  | Minf -> Format.pp_print_string ppf "-inf"
+  | Pinf -> Format.pp_print_string ppf "+inf"
+  | Fin n -> Format.pp_print_int ppf n
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "_|_"
+  | Itv (l, h) -> Format.fprintf ppf "[%a, %a]" pp_bound l pp_bound h
+
+let to_string t = Format.asprintf "%a" pp t

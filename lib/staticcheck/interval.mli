@@ -1,0 +1,67 @@
+(** The classic integer interval domain, with explicit infinities.
+
+    Intervals abstract both integer variables and string {e lengths};
+    widening jumps unstable bounds to infinity so loops such as the
+    NULL HTTPD [ReadPOSTData] offset accumulation converge in a
+    handful of iterations. *)
+
+type bound = Minf | Fin of int | Pinf
+
+type t = Bot | Itv of bound * bound
+(** [Itv (lo, hi)] with [lo <= hi]; [Bot] is the empty interval. *)
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+val top : t
+val bot : t
+val const : int -> t
+val range : int -> int -> t
+(** [range lo hi] is [Bot] when [lo > hi]. *)
+
+val of_bounds : bound -> bound -> t
+
+val int32_full : t
+(** [\[-2^31, 2^31 - 1\]] — the image of C [atoi]. *)
+
+val nat : t
+(** [\[0, +inf)]. *)
+
+val is_bot : t -> bool
+
+val mem : int -> t -> bool
+
+val lo : t -> bound
+val hi : t -> bound
+(** Bounds of a non-bottom interval; raise [Invalid_argument] on [Bot]. *)
+
+val lo_int : t -> int option
+val hi_int : t -> int option
+(** Finite bounds, when the interval is non-bottom and the bound finite. *)
+
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+(** [widen old new_]: bounds that grew jump to the matching infinity. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val min_ : t -> t -> t
+(** Pointwise [min] (for [strncpy]'s effective copy length). *)
+
+val clamp_lo : int -> t -> t
+(** [clamp_lo n t] = [meet t \[n, +inf)]. *)
+
+val clamp_hi : int -> t -> t
+
+val refine : cmp -> t -> t -> t * t
+(** [refine op a b] is the pair of sub-intervals of [a] and [b] on
+    which [a op b] can hold — the assume-transfer of a comparison.
+    Either side may come back [Bot] (the comparison is infeasible). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

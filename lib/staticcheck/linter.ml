@@ -1,0 +1,128 @@
+module A = Minic.Ast
+
+type report = {
+  func : A.func;
+  findings : Finding.t list;
+  nodes : int;
+  edges : int;
+  back_edges : int;
+  loop_iterations : int;
+  widenings : int;
+}
+
+let lint ?(config = Absint.default_config) (f : A.func) =
+  let result = Absint.analyze ~config f in
+  let cfg = result.Absint.cfg in
+  let findings =
+    List.map (Validate.finding ~config ~cfg f) result.Absint.raws
+  in
+  { func = f;
+    findings;
+    nodes = Cfg.node_count cfg;
+    edges = Cfg.edge_count cfg;
+    back_edges = Cfg.back_edge_count cfg;
+    loop_iterations = result.Absint.loop_iterations;
+    widenings = result.Absint.widenings }
+
+let lint_program ?config fs = List.map (fun f -> lint ?config f) fs
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s: %d finding%s  (cfg %d nodes / %d edges, %d \
+                      back-edge%s, %d loop iteration%s, %d widening%s)"
+    r.func.A.name (List.length r.findings)
+    (if List.length r.findings = 1 then "" else "s")
+    r.nodes r.edges r.back_edges
+    (if r.back_edges = 1 then "" else "s")
+    r.loop_iterations
+    (if r.loop_iterations = 1 then "" else "s")
+    r.widenings
+    (if r.widenings = 1 then "" else "s");
+  List.iter (fun f -> Format.fprintf ppf "@,%a" Finding.pp f) r.findings;
+  Format.fprintf ppf "@]"
+
+let report_to_json r =
+  Printf.sprintf
+    "{\"func\": %s, \"nodes\": %d, \"edges\": %d, \"back_edges\": %d, \
+     \"loop_iterations\": %d, \"widenings\": %d, \"findings\": [%s]}"
+    (Finding.json_str r.func.A.name)
+    r.nodes r.edges r.back_edges r.loop_iterations r.widenings
+    (String.concat ", " (List.map Finding.to_json r.findings))
+
+(* ---- corpus sweep -------------------------------------------------- *)
+
+type expectation = Flagged of string list | Clean
+
+type sweep_row = {
+  label : string;
+  expected : expectation;
+  report : report;
+  ok : bool;
+}
+
+(* Ground truth per corpus label (see Minic.Corpus.all). *)
+let expectations =
+  [ ("tTflag (vulnerable)",
+     Flagged [ "array-store-oob-low"; "atoi-wrap-index" ]);
+    ("tTflag (fixed)", Clean);
+    ("Log (vulnerable)", Flagged [ "strcpy-unbounded" ]);
+    ("Log (fixed)", Clean);
+    ("Log (off-by-one fix)", Flagged [ "strcpy-off-by-one" ]);
+    ("ReadPOSTData (|| loop, #6255)", Flagged [ "recv-overflow" ]);
+    ("ReadPOSTData (&& fix)", Clean) ]
+
+let row_ok expected (r : report) =
+  match expected with
+  | Clean -> r.findings = []
+  | Flagged kinds ->
+      let names = List.map (fun f -> Finding.kind_name f.Finding.kind) r.findings in
+      r.findings <> []
+      && List.for_all Finding.is_confirmed r.findings
+      && List.for_all (fun k -> List.mem k names) kinds
+
+let corpus_config =
+  { Absint.default_config with Absint.arrays = Minic.Corpus.tTflag_arrays }
+
+let corpus_sweep () =
+  List.map
+    (fun (label, f) ->
+       let expected =
+         match List.assoc_opt label expectations with
+         | Some e -> e
+         | None -> Clean
+       in
+       let report = lint ~config:corpus_config f in
+       { label; expected; report; ok = row_ok expected report })
+    Minic.Corpus.all
+
+let sweep_ok rows = List.for_all (fun r -> r.ok) rows
+
+let expectation_to_string = function
+  | Clean -> "clean"
+  | Flagged kinds -> "flagged: " ^ String.concat ", " kinds
+
+let pp_sweep ppf rows =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun row ->
+       Format.fprintf ppf "[%s] %-30s expected %s@,  %a@,"
+         (if row.ok then "ok" else "FAIL")
+         row.label
+         (expectation_to_string row.expected)
+         pp_report row.report)
+    rows;
+  Format.fprintf ppf "sweep: %s@]"
+    (if sweep_ok rows then "all expectations met"
+     else "EXPECTATION MISMATCH")
+
+let sweep_to_json rows =
+  Printf.sprintf "{\"ok\": %b, \"rows\": [%s]}" (sweep_ok rows)
+    (String.concat ", "
+       (List.map
+          (fun row ->
+             Printf.sprintf
+               "{\"label\": %s, \"expected\": %s, \"ok\": %b, \"report\": %s}"
+               (Finding.json_str row.label)
+               (Finding.json_str (expectation_to_string row.expected))
+               row.ok
+               (report_to_json row.report))
+          rows))

@@ -1,0 +1,54 @@
+(** The linter front end: analyze a function, validate every raw
+    finding, and render reports; plus the corpus sweep with its
+    ground-truth expectations.
+
+    The sweep is the linter's acceptance harness: every vulnerable
+    corpus variant must be flagged with at least one {e confirmed}
+    finding of the expected kind, and every fixed variant must come
+    back with {e zero} findings — the symbolic bounds in {!Absval}
+    exist precisely so the ReadPOSTData [&&] fix is provably clean
+    while the [||] loop is caught. *)
+
+type report = {
+  func : Minic.Ast.func;
+  findings : Finding.t list;
+  nodes : int;               (** CFG size *)
+  edges : int;
+  back_edges : int;
+  loop_iterations : int;
+  widenings : int;
+}
+
+val lint : ?config:Absint.config -> Minic.Ast.func -> report
+
+val lint_program : ?config:Absint.config -> Minic.Ast.func list -> report list
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string
+
+(** Ground truth for one corpus entry. *)
+type expectation =
+  | Flagged of string list
+      (** kind names ({!Finding.kind_name}) that must all appear,
+          every finding confirmed *)
+  | Clean
+
+type sweep_row = {
+  label : string;
+  expected : expectation;
+  report : report;
+  ok : bool;
+}
+
+val corpus_config : Absint.config
+(** {!Absint.default_config} plus the tTflag array registrations. *)
+
+val corpus_sweep : unit -> sweep_row list
+(** Lint every {!Minic.Corpus} variant against its expectation. *)
+
+val sweep_ok : sweep_row list -> bool
+
+val pp_sweep : Format.formatter -> sweep_row list -> unit
+
+val sweep_to_json : sweep_row list -> string

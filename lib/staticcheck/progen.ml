@@ -1,0 +1,158 @@
+module A = Minic.Ast
+module R = Vulndb.Prng
+
+(* Identifier pools steer clear of the parser's keywords
+   (int/char/const/if/else/while/do/return/strcpy/strncpy/atoi/
+   strlen/recv) and of "sock", which the grammar reserves as the
+   receive source. *)
+let idents = [| "a"; "b"; "c"; "x"; "y"; "n"; "len"; "idx"; "tmp"; "acc" |]
+let buffers = [| "buf"; "data"; "out"; "line" |]
+let arrays = [| "tab"; "slots"; "vect" |]
+let words = [| ""; "abc"; "x1"; "hello world"; "0"; "q" |]
+let reasons = [| "bad"; "toolong"; "range"; "nope" |]
+
+let literal_pool =
+  Array.of_list
+    (List.sort_uniq compare
+       (List.filter (fun n -> n <> -1) Discovery.Domain_gen.boundary_ints
+        @ [ 0; 1; 2; 7; 16; 63; 64; 100; 255; 1024 ]))
+
+let binops = [| A.Add; A.Sub; A.Mul; A.Lt; A.Le; A.Gt; A.Ge; A.Eq; A.Ne;
+                A.And; A.Or |]
+
+let gen_int r =
+  if R.below r 3 = 0 then R.in_range r ~low:(-4) ~high:300
+  else R.pick r literal_pool
+
+let rec gen_expr r depth =
+  if depth <= 0 then gen_leaf r
+  else
+    match R.below r 8 with
+    | 0 | 1 | 2 ->
+        A.Bin (R.pick r binops, gen_expr r (depth - 1), gen_expr r (depth - 1))
+    | 3 -> A.Not (gen_expr r (depth - 1))
+    | 4 -> A.Atoi (gen_expr r (depth - 1))
+    | 5 -> A.Strlen (gen_expr r (depth - 1))
+    | _ -> gen_leaf r
+
+and gen_leaf r =
+  match R.below r 4 with
+  | 0 -> A.Int_lit (gen_int r)
+  | 1 -> A.Var (R.pick r idents)
+  | 2 -> A.Str_lit (R.pick r words)
+  | _ -> A.Var (R.pick r buffers)
+
+(* [return -1;] pretty-prints like a [Reject], whose own rendering
+   differs — the one AST shape that cannot survive a string-level
+   roundtrip, so the generator never emits it. *)
+let safe_return e =
+  match e with A.Int_lit (-1) -> A.Return (A.Int_lit 0) | e -> A.Return e
+
+let rec gen_stmt r depth =
+  match R.below r 12 with
+  | 0 -> A.Decl_int (R.pick r idents, gen_expr r depth)
+  | 1 -> A.Decl_buf (R.pick r buffers, R.in_range r ~low:1 ~high:256)
+  | 2 -> A.Decl_buf_dyn (R.pick r buffers, gen_expr r depth)
+  | 3 -> A.Assign (R.pick r idents, gen_expr r depth)
+  | 4 -> A.Array_store (R.pick r arrays, gen_expr r depth, gen_expr r depth)
+  | 5 -> A.Strcpy (R.pick r buffers, gen_expr r depth)
+  | 6 -> A.Strncpy (R.pick r buffers, gen_expr r depth, gen_expr r depth)
+  | 7 when depth > 0 ->
+      A.If (gen_expr r depth, gen_block r (depth - 1), gen_block r (depth - 1))
+  | 8 when depth > 0 -> A.While (gen_expr r depth, gen_block r (depth - 1))
+  | 9 when depth > 0 -> A.Do_while (gen_block r (depth - 1), gen_expr r depth)
+  | 10 ->
+      A.Recv_into
+        (R.pick r idents, R.pick r buffers, gen_expr r depth, gen_expr r depth)
+  | 11 -> A.Reject (R.pick r reasons)
+  | _ -> safe_return (gen_expr r depth)
+
+and gen_block r depth =
+  List.init (R.below r 4) (fun _ -> gen_stmt r depth)
+
+let gen_params r =
+  List.init (R.below r 4) (fun i ->
+      let base = [| "s"; "t"; "k"; "m" |].(i) in
+      if R.below r 2 = 0 then A.Str_param base else A.Int_param base)
+
+let func ~seed =
+  let r = R.create ~seed in
+  { A.name = "gen";
+    params = gen_params r;
+    body =
+      (let b = gen_block r 3 in
+       if b = [] then [ safe_return (gen_expr r 1) ] else b) }
+
+(* ---- lintable guard-then-sink templates ---------------------------- *)
+
+type vuln = {
+  f : A.func;
+  arrays : (string * int) list;
+  vulnerable : bool;
+}
+
+(* Log-shaped: length guard then strcpy.  The guard admits strings up
+   to [limit] chars; strcpy writes len+1 bytes, so the program is
+   vulnerable iff limit + 1 > cap. *)
+let vuln_strcpy r =
+  let cap = 16 + R.below r 240 in
+  let limit = cap - 2 + R.below r 5 in
+  { f =
+      { A.name = "gen_log";
+        params = [ A.Str_param "s" ];
+        body =
+          [ A.If
+              ( A.Bin (A.Gt, A.Strlen (A.Var "s"), A.Int_lit limit),
+                [ A.Reject "toolong" ],
+                [] );
+            A.Decl_buf ("buf", cap);
+            A.Strcpy ("buf", A.Var "s");
+            A.Return (A.Int_lit 0) ] };
+    arrays = [];
+    vulnerable = limit + 1 > cap }
+
+(* tTflag-shaped: atoi'd index, range guard that may miss the lower
+   bound or overshoot the upper one. *)
+let vuln_index r =
+  let count = 8 + R.below r 120 in
+  let hi = count - 2 + R.below r 5 in
+  let low_checked = R.below r 2 = 0 in
+  let bad_high = A.Bin (A.Gt, A.Var "x", A.Int_lit hi) in
+  let check =
+    if low_checked then
+      A.Bin (A.Or, A.Bin (A.Lt, A.Var "x", A.Int_lit 0), bad_high)
+    else bad_high
+  in
+  { f =
+      { A.name = "gen_setoption";
+        params = [ A.Str_param "s"; A.Str_param "t" ];
+        body =
+          [ A.Decl_int ("x", A.Atoi (A.Var "s"));
+            A.Decl_int ("v", A.Atoi (A.Var "t"));
+            A.If (check, [ A.Reject "range" ], []);
+            A.Array_store ("tab", A.Var "x", A.Var "v");
+            A.Return (A.Int_lit 0) ] };
+    arrays = [ ("tab", count) ];
+    vulnerable = (not low_checked) || hi >= count }
+
+(* strncpy with a literal bound: copies min(len, bound) chars plus a
+   NUL, so vulnerable iff bound + 1 > cap. *)
+let vuln_strncpy r =
+  let cap = 16 + R.below r 240 in
+  let bound = cap - 2 + R.below r 5 in
+  { f =
+      { A.name = "gen_copy";
+        params = [ A.Str_param "s" ];
+        body =
+          [ A.Decl_buf ("buf", cap);
+            A.Strncpy ("buf", A.Var "s", A.Int_lit bound);
+            A.Return (A.Int_lit 0) ] };
+    arrays = [];
+    vulnerable = bound + 1 > cap }
+
+let vuln ~seed =
+  let r = R.create ~seed in
+  match R.below r 3 with
+  | 0 -> vuln_strcpy r
+  | 1 -> vuln_index r
+  | _ -> vuln_strncpy r

@@ -1,0 +1,25 @@
+(** Deterministic seeded program generation for property tests.
+
+    Two generators over {!Vulndb.Prng} streams (seeded with
+    {!Discovery.Domain_gen} boundary integers in the literal pools),
+    so qcheck shrinks over seeds and every failure replays
+    bit-for-bit:
+
+    - {!func}: arbitrary ASTs constrained only to render/reparse
+      cleanly — the {!Minic.Parser.roundtrips} property.
+    - {!vuln}: well-formed guard-then-sink programs (Log-, tTflag-
+      and strncpy-shaped) with randomized constants, together with
+      their array declarations and the ground truth of whether the
+      chosen constants actually admit an overflow — the linter
+      precision/soundness property. *)
+
+val func : seed:int -> Minic.Ast.func
+(** Roundtrip-safe random AST. *)
+
+type vuln = {
+  f : Minic.Ast.func;
+  arrays : (string * int) list;
+  vulnerable : bool;   (** ground truth from the chosen constants *)
+}
+
+val vuln : seed:int -> vuln

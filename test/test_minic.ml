@@ -226,6 +226,80 @@ let test_extract_nested_guards () =
       Alcotest.(check bool) "101 out" false (holds 101)
   | None -> Alcotest.fail "not extracted"
 
+let test_extract_clobbered_guard () =
+  (* Check-then-clobber: the guard no longer speaks about the value
+     that reaches the store, so extraction must drop it rather than
+     report a protection that is not there. *)
+  let store = A.Array_store ("tTvect", A.Var "x", A.Int_lit 1) in
+  let guard = A.If (A.Bin (A.Gt, A.Var "x", A.Int_lit 100), [ A.Reject "range" ], []) in
+  let clobbered =
+    { A.name = "t"; params = [ A.Str_param "s" ];
+      body =
+        [ A.Decl_int ("x", A.Atoi (A.Var "s"));
+          guard;
+          A.Assign ("x", A.Bin (A.Add, A.Var "x", A.Int_lit 50));
+          store;
+          A.Return (A.Int_lit 0) ] }
+  in
+  Alcotest.(check string) "guard dropped" "true" (impl clobbered "x");
+  let intact =
+    { clobbered with
+      A.body = [ A.Decl_int ("x", A.Atoi (A.Var "s")); guard; store;
+                 A.Return (A.Int_lit 0) ] }
+  in
+  Alcotest.(check string) "guard kept without the clobber" "!(self > 100)"
+    (impl intact "x")
+
+let test_extract_loop_clobbered_guard () =
+  (* An assignment anywhere in a loop body invalidates a pre-loop
+     guard for every site inside the loop. *)
+  let f =
+    { A.name = "t"; params = [ A.Int_param "x" ];
+      body =
+        [ A.If (A.Bin (A.Gt, A.Var "x", A.Int_lit 10), [ A.Reject "range" ], []);
+          A.While
+            ( A.Bin (A.Lt, A.Var "x", A.Int_lit 100),
+              [ A.Array_store ("arr", A.Var "x", A.Int_lit 1);
+                A.Assign ("x", A.Bin (A.Add, A.Var "x", A.Int_lit 1)) ] );
+          A.Return (A.Int_lit 0) ] }
+  in
+  match X.dangerous_sites f with
+  | [ site ] ->
+      (* Only the loop condition survives; the x > 10 reject does not. *)
+      let p = Option.get (X.impl_predicate_at ~object_var:"x" site) in
+      let holds v = P.holds ~env:Pfsm.Env.empty ~self:(Pfsm.Value.Int v) p in
+      Alcotest.(check bool) "50 reaches the store" true (holds 50);
+      Alcotest.(check bool) "100 does not" false (holds 100)
+  | sites -> Alcotest.fail (Printf.sprintf "%d sites" (List.length sites))
+
+let test_weakest_predicate_disjunction () =
+  (* Two stores guarded differently: the function-level weakest
+     predicate is the disjunction of the per-site conditions. *)
+  let f =
+    { A.name = "t"; params = [ A.Int_param "x" ];
+      body =
+        [ A.If (A.Bin (A.Lt, A.Var "x", A.Int_lit 0), [ A.Reject "neg" ], []);
+          A.If
+            ( A.Bin (A.Lt, A.Var "x", A.Int_lit 10),
+              [ A.Array_store ("small", A.Var "x", A.Int_lit 1) ],
+              [ A.If (A.Bin (A.Gt, A.Var "x", A.Int_lit 100), [ A.Reject "big" ], []);
+                A.Array_store ("large", A.Var "x", A.Int_lit 2) ] );
+          A.Return (A.Int_lit 0) ] }
+  in
+  let sites = X.dangerous_sites f in
+  Alcotest.(check int) "two sites" 2 (List.length sites);
+  List.iter
+    (fun s -> Alcotest.(check bool) "relevant" true (X.site_relevant ~object_var:"x" s))
+    sites;
+  match X.weakest_predicate f ~object_var:"x" with
+  | Some p ->
+      let holds v = P.holds ~env:Pfsm.Env.empty ~self:(Pfsm.Value.Int v) p in
+      Alcotest.(check bool) "5 via small" true (holds 5);
+      Alcotest.(check bool) "50 via large" true (holds 50);
+      Alcotest.(check bool) "-1 nowhere" false (holds (-1));
+      Alcotest.(check bool) "101 nowhere" false (holds 101)
+  | None -> Alcotest.fail "no weakest predicate"
+
 (* ---- the automatic tool, end to end -------------------------------- *)
 
 let test_auto_verify_refutes_vulnerable () =
@@ -305,6 +379,16 @@ let prop_log_predicates_predict =
        | I.Returned _ -> impl_accepts && spec_accepts
        | I.Memory_violation _ -> impl_accepts && not spec_accepts
        | I.Diverged -> false)
+
+(* Seeded random ASTs survive a print -> parse -> print roundtrip.
+   The generator (Staticcheck.Progen) only avoids the shapes the
+   concrete syntax cannot distinguish (a bare [return -1] reads back
+   as a reject). *)
+let prop_progen_roundtrips =
+  QCheck.Test.make ~name:"minic: random ASTs roundtrip through the parser"
+    ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed -> Minic.Parser.roundtrips (Staticcheck.Progen.func ~seed))
 
 (* ---- ReadPOSTData in source form ----------------------------------- *)
 
@@ -446,7 +530,12 @@ let () =
        [ Alcotest.test_case "guards" `Quick test_extract_guards;
          Alcotest.test_case "sites" `Quick test_extract_sites;
          Alcotest.test_case "untranslatable" `Quick test_extract_untranslatable;
-         Alcotest.test_case "nested guards" `Quick test_extract_nested_guards ]);
+         Alcotest.test_case "nested guards" `Quick test_extract_nested_guards;
+         Alcotest.test_case "clobbered guard dropped" `Quick
+           test_extract_clobbered_guard;
+         Alcotest.test_case "loop clobber" `Quick test_extract_loop_clobbered_guard;
+         Alcotest.test_case "weakest predicate" `Quick
+           test_weakest_predicate_disjunction ]);
       ("ReadPOSTData",
        [ Alcotest.test_case "#6255 from source" `Quick test_read_post_data_6255;
          Alcotest.test_case "#5774 from source" `Quick test_read_post_data_5774;
@@ -462,7 +551,8 @@ let () =
          Alcotest.test_case "do-while and recv" `Quick test_parser_do_while_and_recv;
          Alcotest.test_case "multiple functions" `Quick
            test_parser_program_multiple_funcs;
-         Alcotest.test_case "error line" `Quick test_parser_error_reports_line ]);
+         Alcotest.test_case "error line" `Quick test_parser_error_reports_line;
+         QCheck_alcotest.to_alcotest prop_progen_roundtrips ]);
       ("automatic tool",
        [ Alcotest.test_case "verify refutes/verifies" `Quick
            test_auto_verify_refutes_vulnerable;
