@@ -416,6 +416,42 @@ let lint_sweep () =
   let rows = Staticcheck.Linter.corpus_sweep () in
   Format.printf "%a@." Staticcheck.Linter.pp_sweep rows
 
+let resilience () =
+  section "RESILIENCE -- supervision overhead and the chaos harness";
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let reps = 50 in
+  (* warm-up, so neither side pays first-touch costs *)
+  ignore (Staticcheck.Linter.corpus_sweep ());
+  ignore (Staticcheck.Linter.supervised_sweep ());
+  let (), raw =
+    time (fun () -> for _ = 1 to reps do ignore (Staticcheck.Linter.corpus_sweep ()) done)
+  in
+  let (), sup =
+    time (fun () ->
+        for _ = 1 to reps do ignore (Staticcheck.Linter.supervised_sweep ()) done)
+  in
+  let overhead = (sup -. raw) /. raw *. 100. in
+  Format.printf "fault-free corpus sweep, %d repetitions:@." reps;
+  Format.printf "  raw                 %8.1f ms@." (raw *. 1000.);
+  Format.printf "  supervised          %8.1f ms@." (sup *. 1000.);
+  Format.printf "  wrapper overhead    %+7.1f%%   (target: < 5%% on the fault-free path)@."
+    overhead;
+  let report, chaos_t = time (fun () -> Chaos.run ()) in
+  let items =
+    List.fold_left
+      (fun acc (r : Chaos.plan_run) ->
+         List.fold_left (fun acc (l : Chaos.leg) -> acc + l.Chaos.expected_items) acc
+           r.Chaos.legs)
+      0 report.Chaos.runs
+  in
+  Format.printf
+    "@.chaos harness: %d plans x 3 legs (%d supervised items) in %.2f s; contract ok = %b@."
+    (List.length report.Chaos.runs) items chaos_t (Chaos.ok report)
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -609,7 +645,21 @@ let substrate_tests =
            Staticcheck.Linter.lint ~config:Staticcheck.Linter.corpus_config
              Minic.Corpus.tTflag_vulnerable));
     Test.make ~name:"lint/corpus-sweep"
-      (stage (fun () -> Staticcheck.Linter.corpus_sweep ())) ]
+      (stage (fun () -> Staticcheck.Linter.corpus_sweep ()));
+    Test.make ~name:"resilience/raw-sweep"
+      (stage (fun () -> Staticcheck.Linter.corpus_sweep ()));
+    Test.make ~name:"resilience/supervised-sweep"
+      (stage (fun () -> Staticcheck.Linter.supervised_sweep ()));
+    Test.make ~name:"resilience/retry-schedule"
+      (stage (fun () -> Resilience.Retry.delays Resilience.Retry.default));
+    Test.make ~name:"resilience/breaker-trip-cycle"
+      (stage (fun () ->
+           let b = Resilience.Breaker.create ~resource:"bench" () in
+           for t = 0 to 2 do
+             if Resilience.Breaker.acquire b ~now:t then
+               Resilience.Breaker.failure b ~now:t ~cause:"bench fault"
+           done;
+           Resilience.Breaker.state b)) ]
 
 let run_benchmarks () =
   section "BECHAMEL -- micro-benchmarks (ns per run, OLS estimate)";
@@ -666,5 +716,6 @@ let () =
   baselines ();
   trend_extension ();
   lint_sweep ();
+  resilience ();
   run_benchmarks ();
   Format.printf "@.done.@."

@@ -1,6 +1,15 @@
 (* dfsm — command-line front end to the pFSM vulnerability-analysis
    library: database statistics, per-application FSM analysis,
-   Graphviz export, exploit driving, discovery, and lemma checking. *)
+   Graphviz export, exploit driving, discovery, and lemma checking.
+
+   Exit-code contract (tested in test/dune, documented in README.md):
+     0   success — the requested analysis ran and found nothing wrong
+     1   the analysis itself found a vulnerability or a violated gate
+         (refuted check, confirmed lint finding, corpus mismatch,
+         discovery hit, broken lemma, fault/chaos contract violation)
+     2   usage error — unknown command, unknown application, bad
+         arguments (usage is printed to stderr)
+     125 unexpected internal error *)
 
 let apps = [ "sendmail"; "nullhttpd"; "xterm"; "rwall"; "iis"; "ghttpd"; "rpcstatd" ]
 
@@ -40,12 +49,42 @@ let scenarios_of = function
         Apps.Rpc_statd.benign_scenario ]
   | other -> invalid_arg ("unknown application: " ^ other)
 
+(* A failed analysis gate: say why on stderr, exit 1. *)
+let gate ~ok msg =
+  if ok then `Ok 0
+  else begin
+    Printf.eprintf "%s\n%!" msg;
+    `Ok 1
+  end
+
+(* ---- supervision plumbing ---------------------------------------- *)
+
+(* [--resume] / [--checkpoint FILE] turn a sweep into a checkpointed
+   one: completed item ids are journalled as they finish, a re-run
+   skips them, and the journal is removed once the sweep completes
+   with nothing quarantined (so the next invocation starts fresh). *)
+let checkpoint_of ~default resume path =
+  match resume, path with
+  | false, None -> None
+  | _, path -> Some (Resilience.Checkpoint.load (Option.value path ~default))
+
+let sweep_finished cp report ~expected =
+  match cp with
+  | Some cp
+    when Resilience.Run_report.ok report
+         && Resilience.Run_report.no_lost ~expected report ->
+      Resilience.Checkpoint.reset cp
+  | _ -> ()
+
+let supervising resume checkpoint stop_after =
+  resume || checkpoint <> None || stop_after <> None
+
 (* ---- commands ---------------------------------------------------- *)
 
 let stats seed =
   let db = Vulndb.Synth.generate ~seed in
   Format.printf "%a@." Vulndb.Stats.pp_breakdown db;
-  `Ok ()
+  `Ok 0
 
 let analyze app =
   let model = model_of app in
@@ -55,52 +94,80 @@ let analyze app =
   Format.printf "%a@." Pfsm.Pretty.pp_report report;
   Format.printf "taxonomy:@.%a@." Pfsm.Pretty.pp_matrix
     (Pfsm.Analysis.taxonomy_matrix model);
-  `Ok ()
+  `Ok 0
 
 let dot app =
   print_string (Pfsm.Dot.of_model (model_of app));
-  `Ok ()
+  `Ok 0
 
-let exploit_cmd () =
-  Format.printf "%a@." Exploit.Driver.pp_rows (Exploit.Driver.all_rows ());
-  `Ok ()
+let exploit_cmd resume checkpoint stop_after =
+  if supervising resume checkpoint stop_after then begin
+    let cp = checkpoint_of ~default:".dfsm-exploit.checkpoint" resume checkpoint in
+    let rows, report =
+      Exploit.Driver.supervised_rows ?checkpoint:cp ?stop_after ()
+    in
+    let expected = List.length Exploit.Driver.app_row_groups in
+    sweep_finished cp report ~expected;
+    Format.printf "%a@." Exploit.Driver.pp_rows rows;
+    Format.printf "%a@." Resilience.Run_report.pp report;
+    gate
+      ~ok:(Exploit.Driver.rows_ok rows && Resilience.Run_report.ok report)
+      "exploit: verdict mismatch or quarantined application"
+  end
+  else begin
+    let rows = Exploit.Driver.all_rows () in
+    Format.printf "%a@." Exploit.Driver.pp_rows rows;
+    gate ~ok:(Exploit.Driver.rows_ok rows) "exploit: verdict mismatch"
+  end
 
 let consistency () =
   Format.printf "%a@." Exploit.Consistency.pp_entries (Exploit.Consistency.check_all ());
-  Format.printf "all consistent: %b@." (Exploit.Consistency.all_consistent ());
-  `Ok ()
+  let ok = Exploit.Consistency.all_consistent () in
+  Format.printf "all consistent: %b@." ok;
+  gate ~ok "consistency: model and simulation disagree"
 
 let discover app =
-  (match app with
-   | "nullhttpd" -> (
-       match Discovery.Differential.rediscover_6255 () with
-       | Some finding -> Format.printf "%a@.@." Discovery.Finding.pp finding
-       | None -> Format.printf "differential sweep found no divergence@.")
-   | _ -> ());
+  let differential =
+    match app with
+    | "nullhttpd" -> (
+        match Discovery.Differential.rediscover_6255 () with
+        | Some finding ->
+            Format.printf "%a@.@." Discovery.Finding.pp finding;
+            1
+        | None ->
+            Format.printf "differential sweep found no divergence@.";
+            0)
+    | _ -> 0
+  in
   let findings = Discovery.Search.discover (model_of app) ~scenarios:(scenarios_of app) in
   List.iter (fun f -> Format.printf "%a@.@." Discovery.Finding.pp f) findings;
   Format.printf "%d hidden-path finding(s)@." (List.length findings);
-  `Ok ()
+  if List.length findings + differential = 0 then `Ok 0
+  else begin
+    Printf.eprintf "discover: hidden path found in %s\n%!" app;
+    `Ok 1
+  end
 
 let lemma () =
   Format.printf "%a@." Exploit.Protection.pp_entries (Exploit.Protection.entries ());
-  Format.printf "lemma holds: %b@." (Exploit.Protection.lemma_holds ());
-  `Ok ()
+  let ok = Exploit.Protection.lemma_holds () in
+  Format.printf "lemma holds: %b@." ok;
+  gate ~ok "lemma: a protected exploit was not foiled"
 
 let metrics () =
   let ms = List.map (fun a -> Pfsm.Metrics.of_model (model_of a)) apps in
   Format.printf "%a@." Pfsm.Metrics.pp_table ms;
-  `Ok ()
+  `Ok 0
 
 let ablation () =
   Format.printf "%a@." Exploit.Ablation.pp_rows (Exploit.Ablation.rows ());
-  Format.printf "control-flow hijacks prevented: %b@."
-    (Exploit.Ablation.control_flow_hijacks_prevented ());
-  `Ok ()
+  let ok = Exploit.Ablation.control_flow_hijacks_prevented () in
+  Format.printf "control-flow hijacks prevented: %b@." ok;
+  gate ~ok "ablation: a control-flow hijack survived ASLR"
 
 let csv seed =
   print_string (Vulndb.Csv.of_database (Vulndb.Synth.generate ~seed));
-  `Ok ()
+  `Ok 0
 
 let trend seed =
   let db = Vulndb.Synth.generate ~seed in
@@ -108,7 +175,7 @@ let trend seed =
     (Vulndb.Trend.per_year db);
   Format.printf "studied family per year:@.%a@." Vulndb.Trend.pp_series
     (Vulndb.Trend.family_per_year db);
-  `Ok ()
+  `Ok 0
 
 (* Check a user-supplied spec/impl predicate pair over a domain:
    the paper's methodology as a standalone tool. *)
@@ -132,8 +199,16 @@ let check spec_src impl_src ints strings =
         | None, _ :: _ -> Pfsm.Verify.Strings strings
         | None, [] -> Pfsm.Verify.Int_range { low = -1024; high = 1024 }
       in
-      Format.printf "%a@." Pfsm.Verify.pp_result (Pfsm.Verify.verify pfsm domain);
-      `Ok ()
+      let result = Pfsm.Verify.verify pfsm domain in
+      Format.printf "%a@." Pfsm.Verify.pp_result result;
+      (match result with
+       | Pfsm.Verify.Verified _ -> `Ok 0
+       | Pfsm.Verify.Refuted _ ->
+           Printf.eprintf "check: impl does not imply spec (hidden path)\n%!";
+           `Ok 1
+       | Pfsm.Verify.Budget_exhausted _ | Pfsm.Verify.Domain_too_large _ ->
+           Printf.eprintf "check: verification did not complete\n%!";
+           `Ok 1)
 
 (* The automatic tool on a source file: parse mini-C, extract the
    implementation predicate, verify it against the analyst's spec. *)
@@ -149,6 +224,7 @@ let extract file object_var spec_src ints =
           `Error (false, Printf.sprintf "%s: line %d: %s" file e.Minic.Parser.line
                     e.Minic.Parser.message)
       | Ok funcs ->
+          let refuted = ref 0 in
           List.iter
             (fun f ->
                Format.printf "%a@.@." Minic.Ast.pp_func f;
@@ -168,20 +244,47 @@ let extract file object_var spec_src ints =
                        ~spec ~impl
                    in
                    let low, high = ints in
-                   Format.printf "verification  : %a@.@." Pfsm.Verify.pp_result
-                     (Pfsm.Verify.verify pfsm (Pfsm.Verify.Int_range { low; high })))
+                   let result =
+                     Pfsm.Verify.verify pfsm (Pfsm.Verify.Int_range { low; high })
+                   in
+                   (match result with
+                    | Pfsm.Verify.Refuted _ -> incr refuted
+                    | _ -> ());
+                   Format.printf "verification  : %a@.@." Pfsm.Verify.pp_result result)
             funcs;
-          `Ok ())
+          gate ~ok:(!refuted = 0)
+            (Printf.sprintf "extract: %d refuted guard(s) in %s" !refuted file))
 
 (* The abstract-interpretation linter: a mini-C file, or the built-in
    corpus checked against its ground-truth expectations. *)
-let lint corpus file json arrays =
+let lint corpus file json arrays resume checkpoint stop_after =
   if corpus then begin
-    let rows = Staticcheck.Linter.corpus_sweep () in
-    if json then print_endline (Staticcheck.Linter.sweep_to_json rows)
-    else Format.printf "%a@." Staticcheck.Linter.pp_sweep rows;
-    if Staticcheck.Linter.sweep_ok rows then `Ok ()
-    else `Error (false, "corpus sweep: expectation mismatch")
+    if supervising resume checkpoint stop_after then begin
+      let cp = checkpoint_of ~default:".dfsm-lint.checkpoint" resume checkpoint in
+      let rows, report =
+        Staticcheck.Linter.supervised_sweep ?checkpoint:cp ?stop_after ()
+      in
+      let expected = List.length Minic.Corpus.all in
+      sweep_finished cp report ~expected;
+      if json then
+        Printf.printf "{\"sweep\": %s, \"run\": %s}\n"
+          (Staticcheck.Linter.sweep_to_json rows)
+          (Resilience.Run_report.to_json report)
+      else begin
+        Format.printf "%a@." Staticcheck.Linter.pp_sweep rows;
+        Format.printf "%a@." Resilience.Run_report.pp report
+      end;
+      gate
+        ~ok:(Staticcheck.Linter.sweep_ok rows && Resilience.Run_report.ok report)
+        "corpus sweep: expectation mismatch or quarantined variant"
+    end
+    else begin
+      let rows = Staticcheck.Linter.corpus_sweep () in
+      if json then print_endline (Staticcheck.Linter.sweep_to_json rows)
+      else Format.printf "%a@." Staticcheck.Linter.pp_sweep rows;
+      gate ~ok:(Staticcheck.Linter.sweep_ok rows)
+        "corpus sweep: expectation mismatch"
+    end
   end
   else
     match file with
@@ -206,12 +309,22 @@ let lint corpus file json arrays =
               List.iter
                 (fun r -> Format.printf "%a@.@." Staticcheck.Linter.pp_report r)
                 reports;
-            `Ok ())
+            let confirmed =
+              List.concat_map
+                (fun r ->
+                   List.filter Staticcheck.Finding.is_confirmed
+                     r.Staticcheck.Linter.findings)
+                reports
+            in
+            gate ~ok:(confirmed = [])
+              (Printf.sprintf "lint: %d confirmed finding(s) in %s"
+                 (List.length confirmed) file))
 
 let matrix () =
   Format.printf "%a@." Exploit.Matrix.pp ();
-  Format.printf "section-6 claims hold: %b@." (Exploit.Matrix.section6_claims_hold ());
-  `Ok ()
+  let ok = Exploit.Matrix.section6_claims_hold () in
+  Format.printf "section-6 claims hold: %b@." ok;
+  gate ~ok "matrix: a section-6 claim failed"
 
 (* Write every diagram the paper draws (and the attack graphs) as
    Graphviz files into a directory. *)
@@ -243,7 +356,7 @@ let export dir =
          (Baselines.Attack_graph.to_dot (Baselines.Attack_graph.of_report report)))
     apps;
   Format.printf "render with: dot -Tsvg %s/sendmail.dot > sendmail.svg@." dir;
-  `Ok ()
+  `Ok 0
 
 let baselines () =
   let app = Apps.Sendmail.setup () in
@@ -258,25 +371,52 @@ let baselines () =
   let g = Baselines.Attack_graph.of_report report in
   Format.printf "%a@." Baselines.Attack_graph.pp g;
   print_string (Baselines.Attack_graph.to_dot g);
-  `Ok ()
+  `Ok 0
 
-(* ---- cmdliner plumbing ------------------------------------------- *)
-
-let faults smoke =
+let faults smoke resume checkpoint stop_after =
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
-  let reports = Exploit.Fault_matrix.run ~plans () in
+  let reports, run_report =
+    if supervising resume checkpoint stop_after then begin
+      let cp = checkpoint_of ~default:".dfsm-faults.checkpoint" resume checkpoint in
+      let reports, report =
+        Exploit.Fault_matrix.supervised_run ~plans ?checkpoint:cp ?stop_after ()
+      in
+      sweep_finished cp report ~expected:(List.length plans);
+      (reports, Some report)
+    end
+    else (Exploit.Fault_matrix.run ~plans (), None)
+  in
   List.iter (Format.printf "%a@." Exploit.Fault_matrix.pp_report) reports;
   Format.printf "%a@." Exploit.Fault_matrix.pp_grid reports;
+  (match run_report with
+   | Some r -> Format.printf "%a@." Resilience.Run_report.pp r
+   | None -> ());
   let benign = Exploit.Fault_matrix.all_benign_ok reports in
   let no_div = Exploit.Fault_matrix.no_divergence reports in
   let stable = Exploit.Fault_matrix.stable ~plans () in
   Format.printf "benign plans consistent: %b@." benign;
   Format.printf "no fail-open divergence: %b@." no_div;
   Format.printf "seed-stable verdicts:    %b@." stable;
-  if benign && stable then `Ok ()
-  else
-    `Error
-      (false, "fault matrix: benign-plan agreement or seed determinism violated")
+  let supervised_ok =
+    match run_report with Some r -> Resilience.Run_report.ok r | None -> true
+  in
+  gate
+    ~ok:(benign && stable && supervised_ok)
+    "fault matrix: benign-plan agreement or seed determinism violated"
+
+let chaos seed json smoke =
+  let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
+  let report = Chaos.run ~seed ~plans () in
+  if json then print_endline (Chaos.to_json report)
+  else Format.printf "%a@." Chaos.pp report;
+  match Chaos.violations report with
+  | [] -> `Ok 0
+  | vs ->
+      List.iter (Printf.eprintf "chaos: %s\n") vs;
+      Printf.eprintf "chaos: supervision contract violated\n%!";
+      `Ok 1
+
+(* ---- cmdliner plumbing ------------------------------------------- *)
 
 open Cmdliner
 
@@ -289,6 +429,23 @@ let app_arg =
 
 let seed_arg =
   Arg.(value & opt int 20021130 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+         ~doc:"Checkpoint the sweep: journal each completed item, skip items \
+               a previous interrupted run already finished, and remove the \
+               journal when the sweep completes cleanly.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Journal file for $(b,--resume) (also implies it).")
+
+let stop_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "stop-after" ] ~docv:"N"
+         ~doc:"Simulate an interruption: stop dead after N items (testing aid).")
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Figure-1 database breakdown")
@@ -304,7 +461,7 @@ let dot_cmd =
 
 let exploit_cmd_ =
   Cmd.v (Cmd.info "exploit" ~doc:"Run every canned exploit against every configuration")
-    Term.(ret (const exploit_cmd $ const ()))
+    Term.(ret (const exploit_cmd $ resume_arg $ checkpoint_arg $ stop_after_arg))
 
 let consistency_cmd =
   Cmd.v (Cmd.info "consistency" ~doc:"Cross-check model verdicts against simulations")
@@ -396,7 +553,19 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Re-run the consistency matrix and lemma under every fault plan")
-    Term.(ret (const faults $ smoke_arg))
+    Term.(ret (const faults $ smoke_arg $ resume_arg $ checkpoint_arg
+               $ stop_after_arg))
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Replay every fault plan against the supervised pipeline and check \
+             the resilience contract: no lost items, bounded retries, \
+             deterministic reports")
+    Term.(ret (const chaos $ seed_arg $ json_flag $ smoke_arg))
 
 let extract_cmd =
   Cmd.v
@@ -414,9 +583,6 @@ let lint_file_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
        ~doc:"Mini-C source file to lint.")
 
-let json_flag =
-  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
-
 let lint_arrays_arg =
   Arg.(value & opt_all (pair ~sep:':' string int) []
        & info [ "array" ] ~docv:"NAME:COUNT"
@@ -427,7 +593,7 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Abstract-interpretation linter with interpreter-validated findings")
     Term.(ret (const lint $ corpus_flag $ lint_file_arg $ json_flag
-               $ lint_arrays_arg))
+               $ lint_arrays_arg $ resume_arg $ checkpoint_arg $ stop_after_arg))
 
 let main =
   Cmd.group
@@ -435,6 +601,16 @@ let main =
        ~doc:"Data-driven FSM analysis of security vulnerabilities (DSN 2003)")
     [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
       lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
-      baselines_cmd; extract_cmd; lint_cmd; matrix_cmd; export_cmd; faults_cmd ]
+      baselines_cmd; extract_cmd; lint_cmd; matrix_cmd; export_cmd; faults_cmd;
+      chaos_cmd ]
 
-let () = exit (Cmd.eval main)
+(* The exit-code contract: cmdliner's usage errors (unknown command,
+   unknown application, bad flags) land on 2; term-level failures
+   ([`Error] results, e.g. an unreadable file) do too; analysis
+   verdicts come back as the integer the command returned. *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

@@ -1,0 +1,178 @@
+module Supervisor = Resilience.Supervisor
+module Run_report = Resilience.Run_report
+
+type leg = {
+  leg_name : string;
+  expected_items : int;
+  report : Run_report.t;
+}
+
+type plan_run = {
+  plan : Fault.Plan.t;
+  events : int;
+  legs : leg list;
+}
+
+type report = {
+  seed : int;
+  retry_max : int;
+  runs : plan_run list;
+}
+
+let default_seed = 20021130
+
+let matrix_items () =
+  List.map
+    (fun (app, entries) ->
+       { Supervisor.id = "matrix:" ^ app;
+         resource = app;
+         work = (fun () -> List.length (entries ())) })
+    Exploit.Consistency.app_groups
+  @ [ { Supervisor.id = "matrix:lemma";
+        resource = "lemma";
+        work =
+          (fun () ->
+             if Exploit.Protection.lemma_holds () then 1
+             else raise (Resilience.Quarantine.Reject "protection lemma broken")) } ]
+
+let curated_csv = lazy (Vulndb.Csv.of_database (Vulndb.Seed_data.database ()))
+
+let run_one ~config plan =
+  let matrix_expected = List.length Exploit.Consistency.app_groups + 1 in
+  let lint_expected = List.length Minic.Corpus.all in
+  let ingest_expected =
+    Vulndb.Database.size (Vulndb.Seed_data.database ())
+  in
+  let legs, events =
+    Fault.Hooks.run plan (fun () ->
+        let matrix =
+          Supervisor.run ~label:"chaos-matrix" ~config (matrix_items ())
+        in
+        let _, lint = Staticcheck.Linter.supervised_sweep ~supervise:config () in
+        let ingest =
+          match
+            Resilience.Ingest.csv ~label:"chaos-ingest" ~config
+              (Lazy.force curated_csv)
+          with
+          | Ok o -> o.Resilience.Ingest.report
+          | Error e ->
+              (* the document itself is clean; only rows are mangled *)
+              failwith ("chaos ingest: " ^ Vulndb.Csv.error_to_string e)
+        in
+        [ { leg_name = "matrix";
+            expected_items = matrix_expected;
+            report = matrix.Supervisor.report };
+          { leg_name = "lint"; expected_items = lint_expected; report = lint };
+          { leg_name = "ingest"; expected_items = ingest_expected;
+            report = ingest } ])
+  in
+  { plan; events = List.length events; legs }
+
+let run ?(seed = default_seed) ?(plans = Fault.Catalog.all)
+    ?(config = Supervisor.default_config) () =
+  let runs =
+    List.map
+      (fun (plan : Fault.Plan.t) ->
+         let retry =
+           { config.Supervisor.retry with
+             Resilience.Retry.seed =
+               seed lxor Hashtbl.hash plan.Fault.Plan.name }
+         in
+         run_one ~config:{ config with Supervisor.retry } plan)
+      plans
+  in
+  { seed;
+    retry_max = config.Supervisor.retry.Resilience.Retry.max_attempts;
+    runs }
+
+let leg_violations retry_max (pr : plan_run) (l : leg) =
+  let where =
+    Printf.sprintf "plan %s, %s leg" pr.plan.Fault.Plan.name l.leg_name
+  in
+  let lost =
+    if Run_report.no_lost ~expected:l.expected_items l.report then []
+    else
+      [ Printf.sprintf "%s: LOST ITEMS (%d of %d accounted for)" where
+          (Run_report.total l.report) l.expected_items ]
+  in
+  let unbounded =
+    if Run_report.max_attempts l.report <= retry_max then []
+    else
+      [ Printf.sprintf "%s: UNBOUNDED RETRIES (%d attempts > policy max %d)"
+          where
+          (Run_report.max_attempts l.report)
+          retry_max ]
+  in
+  lost @ unbounded
+
+let violations r =
+  List.concat_map
+    (fun pr -> List.concat_map (leg_violations r.retry_max pr) pr.legs)
+    r.runs
+
+let no_lost_items r =
+  List.for_all
+    (fun pr ->
+       List.for_all
+         (fun l -> Run_report.no_lost ~expected:l.expected_items l.report)
+         pr.legs)
+    r.runs
+
+let bounded_retries r =
+  List.for_all
+    (fun pr ->
+       List.for_all
+         (fun l -> Run_report.max_attempts l.report <= r.retry_max)
+         pr.legs)
+    r.runs
+
+let ok r = violations r = []
+
+let leg_to_json l =
+  Printf.sprintf "{\"name\": \"%s\", \"expected\": %d, \"report\": %s}"
+    l.leg_name l.expected_items
+    (Run_report.to_json l.report)
+
+let plan_run_to_json pr =
+  Printf.sprintf
+    "{\"plan\": \"%s\", \"benign\": %b, \"events\": %d, \"legs\": [%s]}"
+    pr.plan.Fault.Plan.name pr.plan.Fault.Plan.benign pr.events
+    (String.concat ", " (List.map leg_to_json pr.legs))
+
+let to_json r =
+  Printf.sprintf
+    "{\"seed\": %d, \"retry_max\": %d, \"ok\": %b, \"plans\": [%s]}"
+    r.seed r.retry_max (ok r)
+    (String.concat ", " (List.map plan_run_to_json r.runs))
+
+let stable ?seed ?plans () =
+  to_json (run ?seed ?plans ()) = to_json (run ?seed ?plans ())
+
+let pp_leg ppf l =
+  Format.fprintf ppf
+    "%-8s %2d items: %2d completed (%d retried), %2d quarantined, waited %d"
+    l.leg_name (Run_report.total l.report)
+    (Run_report.completed l.report)
+    (Run_report.retried l.report)
+    (Run_report.quarantined l.report)
+    l.report.Run_report.waited
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>chaos: seed %d, %d plan%s@," r.seed
+    (List.length r.runs)
+    (if List.length r.runs = 1 then "" else "s");
+  List.iter
+    (fun pr ->
+       Format.fprintf ppf "plan %-14s%s  %d fault event%s@,"
+         pr.plan.Fault.Plan.name
+         (if pr.plan.Fault.Plan.benign then " (benign)" else "")
+         pr.events
+         (if pr.events = 1 then "" else "s");
+       List.iter (fun l -> Format.fprintf ppf "  %a@," pp_leg l) pr.legs)
+    r.runs;
+  (match violations r with
+   | [] -> Format.fprintf ppf "chaos: contract holds (no lost items, retries bounded)"
+   | vs ->
+       List.iter (fun v -> Format.fprintf ppf "%s@," v) vs;
+       Format.fprintf ppf "chaos: CONTRACT VIOLATED");
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** The chaos harness: every {!Fault.Catalog} plan replayed against
+    the supervised pipeline, end to end.
+
+    For each plan, three legs of the analysis pipeline run inside
+    {!Fault.Hooks.run}: the model-vs-simulation {e matrix} (one item
+    per application plus the Section-6 lemma), the static-analysis
+    {e lint} corpus sweep, and the CSV {e ingest} of the curated
+    database (each row passing through the corruption seam).  The
+    harness then asserts the supervision contract:
+
+    {ul
+    {- {e no lost items} — every leg's report accounts for exactly the
+       items it was given, however hostile the plan;}
+    {- {e bounded retries} — no item exceeded the retry policy;}
+    {- {e determinism} — the same seed yields a byte-identical JSON
+       report ({!stable}).}} *)
+
+type leg = {
+  leg_name : string;  (** ["matrix"], ["lint"] or ["ingest"] *)
+  expected_items : int;  (** how many items the leg was given *)
+  report : Resilience.Run_report.t;
+}
+
+type plan_run = {
+  plan : Fault.Plan.t;
+  events : int;  (** injected faults that actually fired *)
+  legs : leg list;
+}
+
+type report = {
+  seed : int;
+  retry_max : int;  (** the policy's attempt ceiling, for {!bounded_retries} *)
+  runs : plan_run list;
+}
+
+val default_seed : int
+
+val run :
+  ?seed:int ->
+  ?plans:Fault.Plan.t list ->
+  ?config:Resilience.Supervisor.config ->
+  unit ->
+  report
+(** Defaults: {!default_seed}, {!Fault.Catalog.all},
+    {!Resilience.Supervisor.default_config}.  The supervision retry
+    seed is derived from [seed] and the plan name, so every plan owns
+    its schedules and the whole report is a pure function of
+    [(seed, plans, config)]. *)
+
+val no_lost_items : report -> bool
+
+val bounded_retries : report -> bool
+
+val violations : report -> string list
+(** Human-readable contract violations; empty iff {!ok}. *)
+
+val ok : report -> bool
+
+val stable : ?seed:int -> ?plans:Fault.Plan.t list -> unit -> bool
+(** Run twice; byte-compare the JSON. *)
+
+val to_json : report -> string
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,77 @@
+type t = {
+  table : (string, int) Hashtbl.t;   (* id -> attempts *)
+  mutable rev_order : string list;
+  path : string option;
+}
+
+(* One line per completion: "<attempts> <escaped id>".  Escaping keeps
+   ids with spaces and newlines on one journal line. *)
+let line_of ~id ~attempts = Printf.sprintf "%d %s" attempts (String.escaped id)
+
+let parse_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i -> (
+      let attempts = String.sub line 0 i in
+      let id = String.sub line (i + 1) (String.length line - i - 1) in
+      match int_of_string_opt attempts with
+      | None -> None
+      | Some attempts -> (
+          match Scanf.unescaped id with
+          | id -> Some (id, attempts)
+          | exception Scanf.Scan_failure _ -> None))
+
+let in_memory () = { table = Hashtbl.create 16; rev_order = []; path = None }
+
+let record t id attempts =
+  if not (Hashtbl.mem t.table id) then begin
+    Hashtbl.add t.table id attempts;
+    t.rev_order <- id :: t.rev_order
+  end
+
+let load path =
+  let t = { table = Hashtbl.create 16; rev_order = []; path = Some path } in
+  if Sys.file_exists path then
+    In_channel.with_open_text path (fun ic ->
+        let rec go () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+              (match parse_line line with
+               | Some (id, attempts) -> record t id attempts
+               | None -> ());
+              go ()
+        in
+        go ());
+  t
+
+let path t = t.path
+
+let mark t ~id ~attempts =
+  if not (Hashtbl.mem t.table id) then begin
+    record t id attempts;
+    match t.path with
+    | None -> ()
+    | Some path ->
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+        in
+        output_string oc (line_of ~id ~attempts);
+        output_char oc '\n';
+        close_out oc
+  end
+
+let seen t id = Hashtbl.mem t.table id
+
+let attempts t id = Hashtbl.find_opt t.table id
+
+let ids t = List.rev t.rev_order
+
+let count t = Hashtbl.length t.table
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.rev_order <- [];
+  match t.path with
+  | Some path when Sys.file_exists path -> Sys.remove path
+  | _ -> ()

@@ -1,0 +1,36 @@
+(** A journal of completed work-item ids.
+
+    The supervisor marks an item here the moment it completes; an
+    interrupted sweep re-invoked against the same journal skips the
+    marked items (reporting them as completed from the checkpoint,
+    with the attempt count the journal recorded) and analyzes each
+    remaining item exactly once.  File-backed journals append one
+    line per completion so a kill at any point loses at most the
+    in-flight item. *)
+
+type t
+
+val in_memory : unit -> t
+
+val load : string -> t
+(** A file-backed journal at this path; existing entries are read
+    back, later {!mark}s are appended and flushed immediately.  The
+    file is created on the first mark if absent. *)
+
+val path : t -> string option
+
+val mark : t -> id:string -> attempts:int -> unit
+(** Record a completion.  Re-marking an id keeps the first record. *)
+
+val seen : t -> string -> bool
+
+val attempts : t -> string -> int option
+(** The attempt count recorded for a completed id. *)
+
+val ids : t -> string list
+(** Journal order. *)
+
+val count : t -> int
+
+val reset : t -> unit
+(** Forget every entry; a file-backed journal's file is removed. *)

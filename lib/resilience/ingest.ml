@@ -1,0 +1,109 @@
+module Csv = Vulndb.Csv
+module Database = Vulndb.Database
+
+type csv_outcome = {
+  db : Database.t;
+  report : Run_report.t;
+  rejected : Csv.row Quarantine.t;
+}
+
+let reject e = raise (Quarantine.Reject (Csv.error_to_string e))
+
+let line_of_row (row : Csv.row) =
+  String.concat "," (List.map (fun (_, f) -> Csv.escape f) row.Csv.fields)
+
+(* One data row: re-render, pass through the corruption seam, then
+   re-tokenise and type what actually arrived. *)
+let ingest_row seen (row : Csv.row) () =
+  let text = Fault.Hooks.mangle (line_of_row row) in
+  let row' =
+    match Csv.parse_rows text with
+    | Error e -> reject e
+    | Ok [ row' ] -> { row' with Csv.start_line = row.Csv.start_line }
+    | Ok _ ->
+        reject
+          { Csv.line = row.Csv.start_line;
+            column = 1;
+            field = None;
+            message = "row corrupted: no longer a single CSV record" }
+  in
+  match Csv.report_of_row row' with
+  | Error e -> reject e
+  | Ok r ->
+      if Hashtbl.mem seen r.Vulndb.Report.id then
+        reject
+          { Csv.line = row.Csv.start_line;
+            column = 1;
+            field = Some (string_of_int r.Vulndb.Report.id);
+            message = "duplicate report id" }
+      else begin
+        Hashtbl.add seen r.Vulndb.Report.id ();
+        r
+      end
+
+let csv ?(label = "csv-ingest") ?config ?checkpoint ?stop_after text =
+  match Csv.parse_rows text with
+  | Error e -> Error e
+  | Ok [] ->
+      Error
+        { Csv.line = 1; column = 1; field = None;
+          message = "empty input: missing header" }
+  | Ok (hd :: rows) ->
+      if line_of_row hd <> Csv.header then
+        Error
+          { Csv.line = hd.Csv.start_line; column = 1; field = None;
+            message = "bad header" }
+      else begin
+        let seen = Hashtbl.create 64 in
+        let row_id (row : Csv.row) = Printf.sprintf "row:%d" row.Csv.start_line in
+        let items =
+          List.map
+            (fun (row : Csv.row) ->
+               { Supervisor.id = row_id row;
+                 resource = "csv";
+                 work = ingest_row seen row })
+            rows
+        in
+        let outcome =
+          Supervisor.run ~label ?config ?checkpoint ?stop_after items
+        in
+        let rejected = Quarantine.create () in
+        List.iter
+          (fun (e : _ Quarantine.entry) ->
+             let row = List.find (fun r -> row_id r = e.Quarantine.id) rows in
+             Quarantine.isolate rejected ~id:e.Quarantine.id ~item:row
+               ~attempts:e.Quarantine.attempts e.Quarantine.cause)
+          (Quarantine.entries outcome.Supervisor.quarantined);
+        Ok
+          { db = Database.of_reports (List.map snd outcome.Supervisor.results);
+            report = outcome.Supervisor.report;
+            rejected }
+      end
+
+let synth_verified ?config ~seed () =
+  let db = ref None and text = ref None and reparsed = ref None in
+  let require what r =
+    match !r with
+    | Some v -> v
+    | None -> raise (Quarantine.Reject (what ^ " stage did not complete"))
+  in
+  let stage id work = { Supervisor.id; resource = "synth"; work } in
+  Supervisor.run ~label:"synth-ingest" ?config
+    [ stage "synth:generate" (fun () ->
+          let d = Vulndb.Synth.generate ~seed in
+          db := Some d;
+          Printf.sprintf "%d reports" (Database.size d));
+      stage "synth:export" (fun () ->
+          let s = Csv.of_database (require "generate" db) in
+          text := Some s;
+          Printf.sprintf "%d bytes" (String.length s));
+      stage "synth:reparse" (fun () ->
+          match Csv.parse (Fault.Hooks.mangle (require "export" text)) with
+          | Error e -> reject e
+          | Ok rs ->
+              reparsed := Some rs;
+              Printf.sprintf "%d rows" (List.length rs));
+      stage "synth:verify" (fun () ->
+          let d = require "generate" db and rs = require "reparse" reparsed in
+          if rs = Database.reports d then "roundtrip ok"
+          else raise (Quarantine.Reject "roundtrip mismatch")) ]

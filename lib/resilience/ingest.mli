@@ -1,0 +1,39 @@
+(** Supervised database ingestion.
+
+    The CSV import path is the pipeline's front door and the most
+    exposed to hostile input, so it gets the full treatment: each data
+    row is a supervised work item (resource ["csv"]) whose text passes
+    through the {!Fault.Hooks.mangle} seam before being re-tokenised
+    and typed — under a bit-flip fault plan, corrupted rows surface as
+    typed [Rejected] quarantine entries while the rest of the document
+    still loads. *)
+
+type csv_outcome = {
+  db : Vulndb.Database.t;  (** the rows that survived, as a database *)
+  report : Run_report.t;
+  rejected : Vulndb.Csv.row Quarantine.t;
+}
+
+val csv :
+  ?label:string ->
+  ?config:Supervisor.config ->
+  ?checkpoint:Checkpoint.t ->
+  ?stop_after:int ->
+  string ->
+  (csv_outcome, Vulndb.Csv.error) result
+(** Document-level problems — the text does not tokenise, or the
+    header line is wrong — are [Error]: there are no rows to sweep.
+    Row-level problems never are: each row either completes into the
+    database or is quarantined with its {!Vulndb.Csv.error} rendered
+    as the [Rejected] detail.  Note a report whose mangled ID
+    collides with an already-ingested one is quarantined too ([add]
+    would otherwise throw the whole database away). *)
+
+val synth_verified :
+  ?config:Supervisor.config -> seed:int -> unit -> string Supervisor.outcome
+(** The synthetic-population round trip as a staged, supervised
+    pipeline: generate the {!Vulndb.Synth} database, export it to
+    CSV, re-parse the (mangled) text, and verify the round trip —
+    four items sharing the ["synth"] resource, each later stage
+    rejecting with a typed cause when its prerequisite was
+    quarantined rather than crashing the sweep. *)

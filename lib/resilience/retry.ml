@@ -1,0 +1,43 @@
+type policy = {
+  max_attempts : int;
+  base_delay : int;
+  max_delay : int;
+  jitter_percent : int;
+  seed : int;
+}
+
+let default =
+  { max_attempts = 5;
+    base_delay = 50;
+    max_delay = 400;
+    jitter_percent = 25;
+    seed = 20021130 }
+
+let delays policy =
+  let prng = Vulndb.Prng.create ~seed:policy.seed in
+  List.init
+    (max 0 (policy.max_attempts - 1))
+    (fun k ->
+       (* base * 2^k, saturating well before overflow *)
+       let exp = if k > 20 then policy.max_delay else policy.base_delay * (1 lsl k) in
+       let capped = max 0 (min policy.max_delay exp) in
+       let jitter = capped * policy.jitter_percent / 100 in
+       if jitter <= 0 then capped
+       else capped - jitter + Vulndb.Prng.below prng ((2 * jitter) + 1))
+
+let run ?(on_backoff = fun ~attempt:_ ~delay:_ -> ()) policy work =
+  let schedule = Array.of_list (delays policy) in
+  let rec attempt k =
+    match work () with
+    | v -> Ok (v, k)
+    | exception Fault.Condition.Simulated c ->
+        if k < policy.max_attempts then begin
+          on_backoff ~attempt:k ~delay:schedule.(k - 1);
+          attempt (k + 1)
+        end
+        else Error (Quarantine.Retries_exhausted { attempts = k; last = c }, k)
+    | exception Quarantine.Reject detail ->
+        Error (Quarantine.Rejected { detail }, k)
+    | exception e -> Error (Quarantine.Crash { exn = Printexc.to_string e }, k)
+  in
+  attempt 1

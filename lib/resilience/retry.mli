@@ -1,0 +1,35 @@
+(** Seeded exponential backoff.
+
+    A policy fully determines its backoff schedule: the delays are
+    exponential in the attempt number, capped at [max_delay], with
+    jitter drawn from {!Vulndb.Prng} seeded by [seed] — so the same
+    policy always waits the same (virtual) amounts and a retried run
+    replays bit-for-bit.  Delays are {e virtual milliseconds}: the
+    supervision layer advances a logical clock by them instead of
+    sleeping, which keeps tests fast and schedules deterministic. *)
+
+type policy = {
+  max_attempts : int;   (** total tries, including the first (>= 1) *)
+  base_delay : int;     (** virtual ms before the first retry *)
+  max_delay : int;      (** cap on any single backoff *)
+  jitter_percent : int; (** +- this percentage of the capped delay *)
+  seed : int;           (** PRNG seed for the jitter stream *)
+}
+
+val default : policy
+(** 5 attempts, base 50, cap 400, 25% jitter, seed 20021130. *)
+
+val delays : policy -> int list
+(** The full backoff schedule, [max_attempts - 1] entries: the wait
+    before attempt 2, 3, ...  Pure: same policy, same list. *)
+
+val run :
+  ?on_backoff:(attempt:int -> delay:int -> unit) ->
+  policy ->
+  (unit -> 'a) ->
+  ('a * int, Quarantine.cause * int) result
+(** Run the thunk under the policy.  A {!Fault.Condition.Simulated}
+    failure is transient and retried after the scheduled backoff
+    ([on_backoff] observes each wait); {!Quarantine.Reject} and any
+    other exception are terminal.  Either way the [int] is the number
+    of attempts consumed. *)

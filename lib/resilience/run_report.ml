@@ -1,0 +1,106 @@
+type outcome =
+  | Completed of { attempts : int }
+  | Quarantined of { attempts : int; cause : Quarantine.cause }
+
+type item = { id : string; outcome : outcome; from_checkpoint : bool }
+
+type t = { label : string; seed : int; items : item list; waited : int }
+
+let total t = List.length t.items
+
+let count p t = List.length (List.filter p t.items)
+
+let completed = count (fun i -> match i.outcome with Completed _ -> true | _ -> false)
+
+let retried =
+  count (fun i ->
+      match i.outcome with Completed { attempts } -> attempts > 1 | _ -> false)
+
+let resumed = count (fun i -> i.from_checkpoint)
+
+let quarantined =
+  count (fun i -> match i.outcome with Quarantined _ -> true | _ -> false)
+
+let degraded t = quarantined t > 0
+
+let ok t = not (degraded t)
+
+let attempts_of = function
+  | Completed { attempts } | Quarantined { attempts; _ } -> attempts
+
+let max_attempts t =
+  List.fold_left (fun acc i -> max acc (attempts_of i.outcome)) 0 t.items
+
+let no_lost ~expected t = total t = expected
+
+let same_outcomes a b =
+  List.length a.items = List.length b.items
+  && List.for_all2
+       (fun x y -> x.id = y.id && x.outcome = y.outcome)
+       a.items b.items
+
+let pp_outcome ppf = function
+  | Completed { attempts } when attempts <= 1 -> Format.fprintf ppf "completed"
+  | Completed { attempts } ->
+      Format.fprintf ppf "completed after %d attempts" attempts
+  | Quarantined { attempts; cause } ->
+      Format.fprintf ppf "QUARANTINED (attempts %d): %a" attempts
+        Quarantine.pp_cause cause
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: %d item%s, %d completed (%d retried, %d from checkpoint), %d \
+     quarantined, waited %d"
+    t.label (total t)
+    (if total t = 1 then "" else "s")
+    (completed t) (retried t) (resumed t) (quarantined t) t.waited;
+  List.iter
+    (fun i ->
+       Format.fprintf ppf "@,  %-34s %a%s" i.id pp_outcome i.outcome
+         (if i.from_checkpoint then "  [checkpoint]" else ""))
+    t.items;
+  Format.fprintf ppf "@]"
+
+(* Minimal JSON string escaping (the report never contains exotic
+   control characters beyond what String.escaped covers). *)
+let json_str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let item_to_json i =
+  match i.outcome with
+  | Completed { attempts } ->
+      Printf.sprintf
+        "{\"id\": %s, \"outcome\": \"completed\", \"attempts\": %d, \
+         \"from_checkpoint\": %b}"
+        (json_str i.id) attempts i.from_checkpoint
+  | Quarantined { attempts; cause } ->
+      Printf.sprintf
+        "{\"id\": %s, \"outcome\": \"quarantined\", \"attempts\": %d, \
+         \"cause\": %s, \"from_checkpoint\": %b}"
+        (json_str i.id) attempts
+        (json_str (Quarantine.cause_to_string cause))
+        i.from_checkpoint
+
+let to_json t =
+  Printf.sprintf
+    "{\"label\": %s, \"seed\": %d, \"total\": %d, \"completed\": %d, \
+     \"retried\": %d, \"resumed\": %d, \"quarantined\": %d, \"waited\": %d, \
+     \"ok\": %b, \"items\": [%s]}"
+    (json_str t.label) t.seed (total t) (completed t) (retried t) (resumed t)
+    (quarantined t) t.waited (ok t)
+    (String.concat ", " (List.map item_to_json t.items))

@@ -96,6 +96,38 @@ let corpus_sweep () =
 
 let sweep_ok rows = List.for_all (fun r -> r.ok) rows
 
+(* Supervised sweep: one work item per corpus variant.  The analyzer
+   draws its workspace from the simulated heap, so allocation-failure
+   plans perturb the sweep itself — a denied arena is a transient
+   {!Fault.Condition.Heap_exhausted} the supervisor retries. *)
+let arena_bytes = 4096
+
+let sweep_item ~config (label, f) =
+  { Resilience.Supervisor.id = label;
+    resource = "lint";
+    work =
+      (fun () ->
+         if Fault.Hooks.heap_alloc_fails ~requested:arena_bytes then
+           Fault.Condition.fail
+             (Fault.Condition.Heap_exhausted { requested = arena_bytes });
+         let expected =
+           match List.assoc_opt label expectations with
+           | Some e -> e
+           | None -> Clean
+         in
+         let report = lint ~config f in
+         { label; expected; report; ok = row_ok expected report }) }
+
+let supervised_sweep ?(config = corpus_config) ?supervise ?checkpoint
+    ?stop_after () =
+  let outcome =
+    Resilience.Supervisor.run ~label:"lint-sweep" ?config:supervise ?checkpoint
+      ?stop_after
+      (List.map (sweep_item ~config) Minic.Corpus.all)
+  in
+  (List.map snd outcome.Resilience.Supervisor.results,
+   outcome.Resilience.Supervisor.report)
+
 let expectation_to_string = function
   | Clean -> "clean"
   | Flagged kinds -> "flagged: " ^ String.concat ", " kinds

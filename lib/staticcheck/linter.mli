@@ -47,6 +47,20 @@ val corpus_config : Absint.config
 val corpus_sweep : unit -> sweep_row list
 (** Lint every {!Minic.Corpus} variant against its expectation. *)
 
+val supervised_sweep :
+  ?config:Absint.config ->
+  ?supervise:Resilience.Supervisor.config ->
+  ?checkpoint:Resilience.Checkpoint.t ->
+  ?stop_after:int ->
+  unit ->
+  sweep_row list * Resilience.Run_report.t
+(** The corpus sweep as a supervised batch: one work item per variant
+    (resource ["lint"]), each drawing its analysis arena from the
+    simulated heap so allocation-fault plans hit the sweep itself.
+    Returns the rows completed {e this} run — under [?checkpoint],
+    variants a previous run finished are reported from the journal
+    and not re-linted — plus the typed run report. *)
+
 val sweep_ok : sweep_row list -> bool
 
 val pp_sweep : Format.formatter -> sweep_row list -> unit

@@ -46,99 +46,170 @@ let of_database db =
 (* ------------------------------------------------------------------ *)
 (* Parsing. *)
 
-type error = { line : int; message : string }
+type error = {
+  line : int;
+  column : int;
+  field : string option;
+  message : string;
+}
+
+let error_to_string e =
+  Printf.sprintf "line %d, column %d: %s%s" e.line e.column e.message
+    (match e.field with
+     | Some f -> Printf.sprintf " (field %S)" f
+     | None -> "")
+
+type row = { start_line : int; fields : (int * string) list }
 
 exception Parse_error of error
 
-let fail ~line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail ~line ~column ?field fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line; column; field; message }))
+    fmt
 
 (* RFC-4180 tokeniser: rows of fields, quotes escape commas, quote
-   pairs and raw newlines.  [line] tracks the physical line each row
-   starts on, for error messages. *)
+   pairs and raw newlines.  Tracks the physical (line, column) of
+   every character and the starting position of every field, so
+   errors — here and in the typed layer above — point at the
+   offence. *)
 let rows_of_string s =
   let len = String.length s in
   let rows = ref [] and fields = ref [] and buf = Buffer.create 64 in
-  let line = ref 1 and row_line = ref 1 in
-  let push_field () = fields := Buffer.contents buf :: !fields; Buffer.clear buf in
+  let line = ref 1 and col = ref 1 in
+  let row_line = ref 1 in
+  let field_col = ref 1 in
+  (* position of the opening quote of the field being read *)
+  let quote_line = ref 1 and quote_col = ref 1 in
+  let push_field () =
+    fields := (!field_col, Buffer.contents buf) :: !fields;
+    Buffer.clear buf
+  in
   let push_row () =
     push_field ();
-    rows := (!row_line, List.rev !fields) :: !rows;
-    fields := [];
-    row_line := !line
+    rows := { start_line = !row_line; fields = List.rev !fields } :: !rows;
+    fields := []
+  in
+  let advance c =
+    if c = '\n' then begin incr line; col := 1 end else incr col
   in
   (* state: [`Start] of field, [`Bare] unquoted, [`Quoted], or
      [`Closed] just after a closing quote. *)
   let rec go i state =
     if i >= len then begin
-      (match state with
-       | `Quoted -> fail ~line:!row_line "unterminated quoted field"
-       | `Start when !fields = [] && Buffer.length buf = 0 -> ()  (* no final row *)
-       | `Start | `Bare | `Closed -> push_row ())
+      match state with
+      | `Quoted ->
+          fail ~line:!quote_line ~column:!quote_col "unterminated quoted field"
+      | `Start when !fields = [] && Buffer.length buf = 0 -> ()  (* no final row *)
+      | `Start | `Bare | `Closed -> push_row ()
     end
-    else
+    else begin
       let c = s.[i] in
-      if c = '\n' then incr line;
       match state, c with
-      | `Quoted, '"' -> go (i + 1) `Closed
-      | `Quoted, c -> Buffer.add_char buf c; go (i + 1) `Quoted
-      | `Closed, '"' -> Buffer.add_char buf '"'; go (i + 1) `Quoted
-      | (`Start | `Bare | `Closed), ',' -> push_field (); go (i + 1) `Start
-      | (`Start | `Bare | `Closed), '\n' -> push_row (); go (i + 1) `Start
-      | (`Start | `Bare | `Closed), '\r'
-        when i + 1 < len && s.[i + 1] = '\n' ->
-          incr line; push_row (); go (i + 2) `Start
-      | `Start, '"' -> go (i + 1) `Quoted
-      | `Closed, _ -> fail ~line:!line "garbage after closing quote"
-      | (`Start | `Bare), c -> Buffer.add_char buf c; go (i + 1) `Bare
+      | `Quoted, '"' -> advance c; go (i + 1) `Closed
+      | `Quoted, c -> Buffer.add_char buf c; advance c; go (i + 1) `Quoted
+      | `Closed, '"' -> Buffer.add_char buf '"'; advance c; go (i + 1) `Quoted
+      | (`Start | `Bare | `Closed), ',' ->
+          push_field ();
+          advance c;
+          field_col := !col;
+          go (i + 1) `Start
+      | (`Start | `Bare | `Closed), '\n' ->
+          push_row ();
+          advance c;
+          row_line := !line;
+          field_col := !col;
+          go (i + 1) `Start
+      | (`Start | `Bare | `Closed), '\r' when i + 1 < len && s.[i + 1] = '\n' ->
+          push_row ();
+          advance '\n';
+          row_line := !line;
+          field_col := !col;
+          go (i + 2) `Start
+      | (`Start | `Bare | `Closed), '\r' ->
+          fail ~line:!line ~column:!col
+            "bare carriage return (CR not followed by LF)"
+      | `Start, '"' ->
+          quote_line := !line;
+          quote_col := !col;
+          advance c;
+          go (i + 1) `Quoted
+      | `Closed, _ ->
+          fail ~line:!line ~column:!col "garbage after closing quote"
+      | (`Start | `Bare), c -> Buffer.add_char buf c; advance c; go (i + 1) `Bare
+    end
   in
   go 0 `Start;
   List.rev !rows
 
-let report_of_fields ~line fields =
+let parse_rows s =
+  match rows_of_string s with
+  | rows -> Ok rows
+  | exception Parse_error e -> Error e
+
+let report_of_row { start_line = line; fields } =
   match fields with
-  | [ id; title; date; category; software; range; flaw; synthetic;
-      elementary_activity; description ] ->
-      let id =
-        match int_of_string_opt id with
-        | Some id -> id
-        | None -> fail ~line "bad id %S" id
-      in
-      let category =
-        match Category.of_string category with
-        | Some c -> c
-        | None -> fail ~line "unknown category %S" category
-      in
-      let range =
-        match Report.range_of_string range with
-        | Some r -> r
-        | None -> fail ~line "unknown range %S" range
-      in
-      let flaw =
-        match Report.flaw_of_string flaw with
-        | Some f -> f
-        | None -> fail ~line "unknown flaw %S" flaw
-      in
-      let synthetic =
-        match bool_of_string_opt synthetic with
-        | Some b -> b
-        | None -> fail ~line "bad synthetic flag %S" synthetic
-      in
-      Report.make ~id ~title ~date ~category ~software ~range ~flaw
-        ?elementary_activity:
-          (if elementary_activity = "" then None else Some elementary_activity)
-        ~description ~synthetic ()
-  | fields -> fail ~line "expected %d fields, got %d" field_count (List.length fields)
+  | [ (idc, id); (_, title); (_, date); (catc, category); (_, software);
+      (rangec, range); (flawc, flaw); (sync, synthetic);
+      (_, elementary_activity); (_, description) ] -> (
+      try
+        let id =
+          match int_of_string_opt id with
+          | Some id -> id
+          | None -> fail ~line ~column:idc ~field:id "bad id"
+        in
+        let category =
+          match Category.of_string category with
+          | Some c -> c
+          | None -> fail ~line ~column:catc ~field:category "unknown category"
+        in
+        let range =
+          match Report.range_of_string range with
+          | Some r -> r
+          | None -> fail ~line ~column:rangec ~field:range "unknown range"
+        in
+        let flaw =
+          match Report.flaw_of_string flaw with
+          | Some f -> f
+          | None -> fail ~line ~column:flawc ~field:flaw "unknown flaw"
+        in
+        let synthetic =
+          match bool_of_string_opt synthetic with
+          | Some b -> b
+          | None -> fail ~line ~column:sync ~field:synthetic "bad synthetic flag"
+        in
+        Ok
+          (Report.make ~id ~title ~date ~category ~software ~range ~flaw
+             ?elementary_activity:
+               (if elementary_activity = "" then None
+                else Some elementary_activity)
+             ~description ~synthetic ())
+      with Parse_error e -> Error e)
+  | fields ->
+      Error
+        { line;
+          column = 1;
+          field = None;
+          message =
+            Printf.sprintf "ragged row: expected %d fields, got %d" field_count
+              (List.length fields) }
 
 let parse s =
-  match rows_of_string s with
-  | exception Parse_error e -> Error e
-  | [] -> Error { line = 1; message = "empty input: missing header" }
-  | (line, hd) :: rows ->
-      if String.concat "," (List.map escape hd) <> header then
-        Error { line; message = "bad header" }
-      else begin
-        match List.map (fun (line, fields) -> report_of_fields ~line fields) rows with
-        | reports -> Ok reports
-        | exception Parse_error e -> Error e
-      end
+  match parse_rows s with
+  | Error e -> Error e
+  | Ok [] ->
+      Error { line = 1; column = 1; field = None; message = "empty input: missing header" }
+  | Ok (hd :: rows) ->
+      if String.concat "," (List.map (fun (_, f) -> escape f) hd.fields) <> header
+      then
+        Error
+          { line = hd.start_line; column = 1; field = None; message = "bad header" }
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | row :: rest -> (
+              match report_of_row row with
+              | Ok r -> go (r :: acc) rest
+              | Error e -> Error e)
+        in
+        go [] rows

@@ -14,13 +14,39 @@ val of_database : Database.t -> string
 val field_count : int
 
 val escape : string -> string
-(** Quote a field iff it contains a comma, quote or newline. *)
+(** Quote a field iff it contains a comma, quote, CR or newline. *)
 
-type error = { line : int; message : string }
-(** [line] is the physical line the offending row starts on. *)
+type error = {
+  line : int;    (** physical line of the offence (1-based) *)
+  column : int;  (** character column on that line (1-based) *)
+  field : string option;
+      (** the offending field's contents, when the offence is a bad
+          field rather than a syntax error *)
+  message : string;
+}
+(** Malformed input never raises: every parsing entry point returns a
+    typed error locating the offence. *)
+
+val error_to_string : error -> string
+(** ["line L, column C: message (field \"...\")"]. *)
+
+type row = {
+  start_line : int;  (** physical line the row starts on *)
+  fields : (int * string) list;  (** (starting column, contents) *)
+}
+
+val parse_rows : string -> (row list, error) result
+(** RFC-4180 tokenisation only — no header check, no field typing.
+    Handles quoted fields with embedded commas, doubled quotes and
+    raw newlines; accepts CRLF and LF row endings; rejects an
+    unterminated quote, garbage after a closing quote, and a bare CR
+    outside quotes. *)
+
+val report_of_row : row -> (Report.t, error) result
+(** Type one tokenised row: ragged rows and unparseable fields are
+    typed errors carrying the offending field.  An empty
+    [elementary_activity] field reads back as [None]. *)
 
 val parse : string -> (Report.t list, error) result
-(** Parse a [header]-led CSV document.  Handles quoted fields with
-    embedded commas, doubled quotes and raw newlines; accepts CRLF
-    and LF row endings; an empty [elementary_activity] field reads
-    back as [None]. *)
+(** Parse a [header]-led CSV document: {!parse_rows}, the header
+    check, then {!report_of_row} on every row — first error wins. *)

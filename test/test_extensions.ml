@@ -273,6 +273,46 @@ let test_csv_parse_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unterminated quote accepted"
 
+(* The typed-error contract: every malformed input names the line,
+   the column and (for bad fields) the offending field itself. *)
+let test_csv_malformed_locations () =
+  (match Vulndb.Csv.parse_rows "a,\"unterm" with
+   | Error { line = 1; column = 3; field = None; message } ->
+       Alcotest.(check bool) "names the quote" true
+         (String.length message > 0)
+   | Error e ->
+       Alcotest.failf "unterminated quote at %d:%d, wanted 1:3" e.line e.column
+   | Ok _ -> Alcotest.fail "unterminated quote accepted");
+  (match Vulndb.Csv.parse_rows "ab\rcd\n" with
+   | Error { line = 1; column = 3; _ } -> ()
+   | Error e -> Alcotest.failf "bare CR at %d:%d, wanted 1:3" e.line e.column
+   | Ok _ -> Alcotest.fail "bare CR outside quotes accepted");
+  (match Vulndb.Csv.parse_rows "\"a\rb\"\n" with
+   | Ok [ { fields = [ (1, "a\rb") ]; _ } ] -> ()
+   | _ -> Alcotest.fail "quoted CR should be data");
+  (match Vulndb.Csv.parse_rows "\"ok\"garbage\n" with
+   | Error { line = 1; column = 5; _ } -> ()
+   | Error e -> Alcotest.failf "garbage after quote at %d:%d" e.line e.column
+   | Ok _ -> Alcotest.fail "garbage after closing quote accepted");
+  (* ragged row: counted against the row's starting line *)
+  (match Vulndb.Csv.parse (Vulndb.Csv.header ^ "\n1,2,3\n") with
+   | Error { line = 2; column = 1; field = None; message } ->
+       Alcotest.(check bool) "says ragged" true
+         (String.length message > 0 && String.sub message 0 6 = "ragged")
+   | Error e -> Alcotest.failf "ragged row at %d:%d" e.line e.column
+   | Ok _ -> Alcotest.fail "ragged row accepted");
+  (* a bad field carries the field and its exact starting column:
+     "7,t,2002-01-01," is 15 chars, so category starts at column 16 *)
+  match
+    Vulndb.Csv.parse
+      (Vulndb.Csv.header ^ "\n7,t,2002-01-01,Not A Category,s,remote,other,false,,d\n")
+  with
+  | Error { line = 2; column = 16; field = Some "Not A Category"; _ } -> ()
+  | Error e ->
+      Alcotest.failf "bad category at %d:%d field %s" e.line e.column
+        (Option.value e.field ~default:"<none>")
+  | Ok _ -> Alcotest.fail "unknown category accepted"
+
 let prop_csv_round_trip =
   let open QCheck in
   let field_gen =
@@ -646,6 +686,8 @@ let () =
            test_csv_parse_round_trip_seed;
          Alcotest.test_case "csv quoted fields" `Quick test_csv_parse_quoted_fields;
          Alcotest.test_case "csv parse errors" `Quick test_csv_parse_errors;
+         Alcotest.test_case "csv malformed locations" `Quick
+           test_csv_malformed_locations;
          QCheck_alcotest.to_alcotest prop_csv_round_trip ]);
       ("heap extensions",
        [ Alcotest.test_case "realloc" `Quick test_heap_realloc_preserves_prefix;

@@ -1,0 +1,393 @@
+(* The supervision layer: deterministic backoff, circuit breaking,
+   quarantine, checkpointed resume, and the chaos harness contract. *)
+
+module R = Resilience
+module Sup = R.Supervisor
+
+let transient failures =
+  (* a work thunk that hits a simulated fault [failures] times, then
+     succeeds *)
+  let left = ref failures in
+  fun () ->
+    if !left > 0 then begin
+      decr left;
+      Fault.Condition.fail (Fault.Condition.Heap_exhausted { requested = 64 })
+    end
+    else "done"
+
+(* ---- retry -------------------------------------------------------- *)
+
+let test_delays () =
+  let d = R.Retry.delays R.Retry.default in
+  Alcotest.(check int) "max_attempts - 1 delays" 4 (List.length d);
+  Alcotest.(check (list int)) "pure" d (R.Retry.delays R.Retry.default);
+  List.iter
+    (fun delay ->
+       Alcotest.(check bool) "within jitter envelope" true
+         (delay >= 0 && delay <= 400 + 100))
+    d
+
+let test_retry_run () =
+  (match R.Retry.run R.Retry.default (transient 2) with
+   | Ok ("done", 3) -> ()
+   | Ok (_, k) -> Alcotest.failf "succeeded after %d attempts, wanted 3" k
+   | Error _ -> Alcotest.fail "transient failure not retried");
+  (match R.Retry.run R.Retry.default (transient 99) with
+   | Error (R.Quarantine.Retries_exhausted { attempts = 5; last = _ }, 5) -> ()
+   | Error _ -> Alcotest.fail "wrong exhaustion cause"
+   | Ok _ -> Alcotest.fail "exhausted work succeeded");
+  (match R.Retry.run R.Retry.default (fun () -> raise (R.Quarantine.Reject "bad")) with
+   | Error (R.Quarantine.Rejected { detail = "bad" }, 1) -> ()
+   | _ -> Alcotest.fail "Reject not terminal on first attempt");
+  match R.Retry.run R.Retry.default (fun () -> failwith "boom") with
+  | Error (R.Quarantine.Crash _, 1) -> ()
+  | _ -> Alcotest.fail "crash not terminal"
+
+let prop_same_seed_same_schedule =
+  let open QCheck in
+  Test.make ~name:"retry: same seed, same backoff schedule" ~count:200
+    (quad small_nat (int_range 1 8) (int_range 1 100) (int_range 0 50))
+    (fun (seed, max_attempts, base_delay, jitter_percent) ->
+       let policy =
+         { R.Retry.max_attempts; base_delay; max_delay = base_delay * 8;
+           jitter_percent; seed }
+       in
+       let d1 = R.Retry.delays policy and d2 = R.Retry.delays policy in
+       d1 = d2
+       && List.length d1 = max_attempts - 1
+       && List.for_all (fun d -> d >= 0) d1)
+
+(* ---- breaker ------------------------------------------------------ *)
+
+let test_breaker_lifecycle () =
+  let b = R.Breaker.create ~resource:"db" () in
+  R.Breaker.failure b ~now:1 ~cause:"x";
+  R.Breaker.failure b ~now:2 ~cause:"x";
+  Alcotest.(check bool) "two failures stay closed" true
+    (R.Breaker.state b = R.Breaker.Closed);
+  R.Breaker.failure b ~now:3 ~cause:"x";
+  Alcotest.(check bool) "third failure trips" true
+    (R.Breaker.state b = R.Breaker.Open);
+  Alcotest.(check bool) "open refuses" false (R.Breaker.acquire b ~now:10);
+  Alcotest.(check bool) "cooldown admits a probe" true
+    (R.Breaker.acquire b ~now:203);
+  Alcotest.(check bool) "probing" true (R.Breaker.state b = R.Breaker.Half_open);
+  R.Breaker.failure b ~now:204 ~cause:"y";
+  Alcotest.(check bool) "failed probe re-opens" true
+    (R.Breaker.state b = R.Breaker.Open);
+  Alcotest.(check int) "two typed trips" 2 (List.length (R.Breaker.trips b));
+  ignore (R.Breaker.acquire b ~now:500);
+  R.Breaker.success b;
+  Alcotest.(check bool) "successful probe closes" true
+    (R.Breaker.state b = R.Breaker.Closed);
+  let trip = List.hd (R.Breaker.trips b) in
+  Alcotest.(check string) "trip names the resource" "db"
+    trip.R.Breaker.resource;
+  Alcotest.(check int) "trip records the time" 3 trip.R.Breaker.at
+
+let prop_breaker_no_open_to_closed =
+  let open QCheck in
+  (* whatever the operation sequence, Open -> Closed never happens
+     directly: it must pass Half_open *)
+  let op = oneofl [ `Acquire; `Success; `Failure ] in
+  Test.make ~name:"breaker: Open->Closed only via Half_open" ~count:500
+    (list_of_size (Gen.int_range 0 40) op)
+    (fun ops ->
+       let b =
+         R.Breaker.create
+           ~config:{ R.Breaker.failure_threshold = 2; cooldown = 5 }
+           ~resource:"r" ()
+       in
+       let now = ref 0 in
+       List.iter
+         (fun o ->
+            incr now;
+            match o with
+            | `Acquire -> ignore (R.Breaker.acquire b ~now:!now)
+            | `Success -> R.Breaker.success b
+            | `Failure -> R.Breaker.failure b ~now:!now ~cause:"f")
+         ops;
+       List.for_all
+         (fun edge -> edge <> (R.Breaker.Open, R.Breaker.Closed))
+         (R.Breaker.transitions b))
+
+(* ---- deadline ----------------------------------------------------- *)
+
+let test_deadline () =
+  let d = R.Deadline.of_fuel 10 in
+  Alcotest.(check bool) "grant within fuel" true (R.Deadline.spend d 4);
+  Alcotest.(check int) "used" 4 (R.Deadline.used d);
+  Alcotest.(check (option int)) "remaining" (Some 6) (R.Deadline.remaining d);
+  Alcotest.(check bool) "refuse beyond fuel" false (R.Deadline.spend d 7);
+  Alcotest.(check bool) "exhaustion is sticky" false (R.Deadline.spend d 1);
+  Alcotest.(check bool) "exceeded" true (R.Deadline.exceeded d);
+  (* child spends the parent; parent exhaustion refuses the child *)
+  let parent = R.Deadline.of_fuel 5 in
+  let child = R.Deadline.sub parent ~fuel:100 in
+  Alcotest.(check bool) "child grant" true (R.Deadline.spend child 3);
+  Alcotest.(check int) "parent charged" 3 (R.Deadline.used parent);
+  Alcotest.(check bool) "parent cap binds child" false (R.Deadline.spend child 3);
+  (* composition with Fault.Budget *)
+  let b = Fault.Budget.of_fuel 2 in
+  let bd = R.Deadline.of_budget b in
+  Alcotest.(check bool) "budget-backed grant" true (R.Deadline.spend bd 2);
+  Alcotest.(check bool) "budget exhausted refuses" false (R.Deadline.spend bd 1);
+  Alcotest.(check int) "budget consumed" 2 (Fault.Budget.used b)
+
+(* ---- checkpoint --------------------------------------------------- *)
+
+let test_checkpoint_file () =
+  let path = Filename.temp_file "dfsm-test" ".checkpoint" in
+  Sys.remove path;
+  let cp = R.Checkpoint.load path in
+  R.Checkpoint.mark cp ~id:"plain" ~attempts:1;
+  R.Checkpoint.mark cp ~id:"with space" ~attempts:2;
+  R.Checkpoint.mark cp ~id:"with\nnewline" ~attempts:3;
+  R.Checkpoint.mark cp ~id:"plain" ~attempts:9;
+  let reloaded = R.Checkpoint.load path in
+  Alcotest.(check int) "entries survive reload" 3 (R.Checkpoint.count reloaded);
+  Alcotest.(check (list string)) "journal order"
+    [ "plain"; "with space"; "with\nnewline" ]
+    (R.Checkpoint.ids reloaded);
+  Alcotest.(check (option int)) "first mark wins" (Some 1)
+    (R.Checkpoint.attempts reloaded "plain");
+  Alcotest.(check (option int)) "escaped id round-trips" (Some 3)
+    (R.Checkpoint.attempts reloaded "with\nnewline");
+  R.Checkpoint.reset reloaded;
+  Alcotest.(check bool) "reset removes the file" false (Sys.file_exists path)
+
+(* ---- supervisor --------------------------------------------------- *)
+
+let item id work = { Sup.id; resource = "r"; work }
+
+let test_supervisor_outcomes () =
+  let out =
+    Sup.run ~label:"t"
+      [ item "ok" (fun () -> 1);
+        item "flaky" (let w = transient 2 in fun () -> ignore (w ()); 2);
+        item "reject" (fun () -> raise (R.Quarantine.Reject "malformed"));
+        item "crash" (fun () -> failwith "bug");
+        item "after" (fun () -> 5) ]
+  in
+  let r = out.Sup.report in
+  Alcotest.(check int) "all items accounted for" 5 (R.Run_report.total r);
+  Alcotest.(check int) "three completed" 3 (R.Run_report.completed r);
+  Alcotest.(check int) "one retried" 1 (R.Run_report.retried r);
+  Alcotest.(check int) "two quarantined" 2 (R.Run_report.quarantined r);
+  Alcotest.(check bool) "degraded, not ok" false (R.Run_report.ok r);
+  Alcotest.(check (list (pair string int))) "results in order, sweep continued"
+    [ ("ok", 1); ("flaky", 2); ("after", 5) ]
+    out.Sup.results;
+  (match R.Quarantine.find out.Sup.quarantined "reject" with
+   | Some { R.Quarantine.cause = R.Quarantine.Rejected { detail }; _ } ->
+       Alcotest.(check string) "typed rejection" "malformed" detail
+   | _ -> Alcotest.fail "reject not quarantined as Rejected");
+  match R.Quarantine.find out.Sup.quarantined "crash" with
+  | Some { R.Quarantine.cause = R.Quarantine.Crash _; attempts = 1; _ } -> ()
+  | _ -> Alcotest.fail "crash not quarantined as Crash"
+
+let test_supervisor_deadline () =
+  (* tiny fuel: the first item eats it, the rest are quarantined as
+     Deadline_exceeded rather than silently dropped *)
+  let config = { Sup.default_config with Sup.deadline = Some 1 } in
+  let out =
+    Sup.run ~config [ item "a" (fun () -> 1); item "b" (fun () -> 2) ]
+  in
+  let r = out.Sup.report in
+  Alcotest.(check bool) "no lost items" true (R.Run_report.no_lost ~expected:2 r);
+  match R.Quarantine.find out.Sup.quarantined "b" with
+  | Some { R.Quarantine.cause = R.Quarantine.Deadline_exceeded _; _ } -> ()
+  | _ -> Alcotest.fail "starved item not Deadline_exceeded"
+
+let test_supervisor_breaker_trips () =
+  (* one shared resource failing hard: the breaker trips and later
+     items are refused without burning their full schedules *)
+  let fail_item id =
+    { Sup.id;
+      resource = "shared";
+      work =
+        (fun () ->
+           Fault.Condition.fail (Fault.Condition.Fs_denied { path = id })) }
+  in
+  let out = Sup.run (List.init 4 (fun i -> fail_item (string_of_int i))) in
+  Alcotest.(check int) "every item accounted for" 4
+    (R.Run_report.total out.Sup.report);
+  match out.Sup.breakers with
+  | [ b ] ->
+      Alcotest.(check bool) "breaker tripped" true (R.Breaker.trips b <> []);
+      Alcotest.(check bool) "typed trip cause" true
+        (String.length (List.hd (R.Breaker.trips b)).R.Breaker.cause > 0)
+  | bs -> Alcotest.failf "expected 1 breaker, got %d" (List.length bs)
+
+let flaky_items ~seed n =
+  (* n items, deterministically flaky from [seed]; records how often
+     each id was analyzed to completion (retries before success are
+     the same analysis, so the counter ticks on success only) *)
+  let runs = Hashtbl.create 16 in
+  let items =
+    List.init n (fun i ->
+        let id = Printf.sprintf "item-%02d" i in
+        let failures = (seed + (i * 7)) mod 3 in
+        let w = transient failures in
+        { Sup.id;
+          resource = "r" ^ string_of_int (i mod 2);
+          work =
+            (fun () ->
+               let v = w () in
+               Hashtbl.replace runs id
+                 (1 + try Hashtbl.find runs id with Not_found -> 0);
+               v) })
+  in
+  (items, runs)
+
+let executions runs id = try Hashtbl.find runs id with Not_found -> 0
+
+let test_resume_exactly_once () =
+  let n = 6 in
+  let cp = R.Checkpoint.in_memory () in
+  let items, runs = flaky_items ~seed:3 n in
+  let _interrupted = Sup.run ~checkpoint:cp ~stop_after:3 items in
+  let items2, runs2 = flaky_items ~seed:3 n in
+  let resumed = Sup.run ~checkpoint:cp items2 in
+  let fresh_items, _ = flaky_items ~seed:3 n in
+  let uninterrupted = Sup.run fresh_items in
+  Alcotest.(check bool) "resumed report covers every item" true
+    (R.Run_report.no_lost ~expected:n resumed.Sup.report);
+  Alcotest.(check int) "three items resumed from the journal" 3
+    (R.Run_report.resumed resumed.Sup.report);
+  Alcotest.(check bool) "same outcomes as an uninterrupted run" true
+    (R.Run_report.same_outcomes resumed.Sup.report uninterrupted.Sup.report);
+  List.iter
+    (fun (it : _ Sup.item) ->
+       let total = executions runs it.Sup.id + executions runs2 it.Sup.id in
+       Alcotest.(check int)
+         (Printf.sprintf "%s analyzed exactly once" it.Sup.id)
+         1 total)
+    items
+
+let prop_resume_exactly_once =
+  let open QCheck in
+  Test.make ~name:"supervisor: checkpointed resume analyzes each item once"
+    ~count:50
+    (triple (int_range 1 12) small_nat small_nat)
+    (fun (n, stop, seed) ->
+       let stop = stop mod (n + 1) in
+       let cp = R.Checkpoint.in_memory () in
+       let items, runs = flaky_items ~seed n in
+       ignore (Sup.run ~checkpoint:cp ~stop_after:stop items);
+       let items2, runs2 = flaky_items ~seed n in
+       let resumed = Sup.run ~checkpoint:cp items2 in
+       let fresh, _ = flaky_items ~seed n in
+       let uninterrupted = Sup.run fresh in
+       R.Run_report.no_lost ~expected:n resumed.Sup.report
+       && R.Run_report.same_outcomes resumed.Sup.report uninterrupted.Sup.report
+       && List.for_all
+            (fun (it : _ Sup.item) ->
+               executions runs it.Sup.id + executions runs2 it.Sup.id = 1)
+            items)
+
+(* ---- ingest ------------------------------------------------------- *)
+
+let curated_csv = Vulndb.Csv.of_database (Vulndb.Seed_data.database ())
+
+let test_ingest_clean () =
+  match R.Ingest.csv curated_csv with
+  | Error e -> Alcotest.failf "clean ingest failed: %s" (Vulndb.Csv.error_to_string e)
+  | Ok o ->
+      Alcotest.(check bool) "whole database survives" true
+        (Vulndb.Database.reports o.R.Ingest.db
+         = Vulndb.Database.reports (Vulndb.Seed_data.database ()));
+      Alcotest.(check bool) "report ok" true (R.Run_report.ok o.R.Ingest.report)
+
+let test_ingest_bad_document () =
+  (match R.Ingest.csv "not,a,header\n1,2,3\n" with
+   | Error { Vulndb.Csv.line = 1; _ } -> ()
+   | Error e -> Alcotest.failf "wrong line %d" e.Vulndb.Csv.line
+   | Ok _ -> Alcotest.fail "bad header accepted");
+  match R.Ingest.csv (Vulndb.Csv.header ^ "\n1,2,3\n") with
+  | Ok o ->
+      Alcotest.(check int) "ragged row quarantined, not fatal" 1
+        (R.Quarantine.count o.R.Ingest.rejected);
+      Alcotest.(check int) "nothing ingested" 0 (Vulndb.Database.size o.R.Ingest.db)
+  | Error e -> Alcotest.failf "row-level error escaped: %s" (Vulndb.Csv.error_to_string e)
+
+let test_ingest_under_bitflip () =
+  let run () =
+    Fault.Hooks.with_plan Fault.Catalog.bitflip (fun () -> R.Ingest.csv curated_csv)
+  in
+  match run (), run () with
+  | Ok a, Ok b ->
+      let expected = Vulndb.Database.size (Vulndb.Seed_data.database ()) in
+      Alcotest.(check bool) "no lost rows under bitflip" true
+        (R.Run_report.no_lost ~expected a.R.Ingest.report);
+      Alcotest.(check bool) "corruption quarantines as Rejected" true
+        (List.for_all
+           (fun (e : _ R.Quarantine.entry) ->
+              match e.R.Quarantine.cause with
+              | R.Quarantine.Rejected _ -> true
+              | _ -> false)
+           (R.Quarantine.entries a.R.Ingest.rejected));
+      Alcotest.(check string) "deterministic under the plan seed"
+        (R.Run_report.to_json a.R.Ingest.report)
+        (R.Run_report.to_json b.R.Ingest.report)
+  | _ -> Alcotest.fail "document-level failure under bitflip"
+
+let test_synth_verified () =
+  let out = R.Ingest.synth_verified ~seed:20021130 () in
+  Alcotest.(check bool) "four stages complete" true
+    (R.Run_report.ok out.Sup.report && R.Run_report.total out.Sup.report = 4);
+  match List.assoc_opt "synth:verify" out.Sup.results with
+  | Some "roundtrip ok" -> ()
+  | _ -> Alcotest.fail "synthetic database did not round-trip"
+
+(* ---- chaos -------------------------------------------------------- *)
+
+let test_chaos_contract () =
+  let report = Chaos.run () in
+  Alcotest.(check (list string)) "full-catalog contract" []
+    (Chaos.violations report);
+  Alcotest.(check bool) "no lost items" true (Chaos.no_lost_items report);
+  Alcotest.(check bool) "bounded retries" true (Chaos.bounded_retries report)
+
+let test_chaos_stable () =
+  Alcotest.(check bool) "same seed, byte-identical JSON" true
+    (Chaos.stable ~plans:Fault.Catalog.smoke ())
+
+let prop_chaos_deterministic =
+  let open QCheck in
+  Test.make ~name:"chaos: same seed, identical run report" ~count:8 small_nat
+    (fun seed ->
+       let plans = [ Fault.Catalog.heap_pressure ] in
+       Chaos.to_json (Chaos.run ~seed ~plans ())
+       = Chaos.to_json (Chaos.run ~seed ~plans ()))
+
+(* ---- suite -------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "resilience"
+    [ ("retry",
+       [ Alcotest.test_case "schedule shape" `Quick test_delays;
+         Alcotest.test_case "run outcomes" `Quick test_retry_run;
+         QCheck_alcotest.to_alcotest prop_same_seed_same_schedule ]);
+      ("breaker",
+       [ Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
+         QCheck_alcotest.to_alcotest prop_breaker_no_open_to_closed ]);
+      ("deadline", [ Alcotest.test_case "fuel and nesting" `Quick test_deadline ]);
+      ("checkpoint",
+       [ Alcotest.test_case "file journal round trip" `Quick test_checkpoint_file ]);
+      ("supervisor",
+       [ Alcotest.test_case "typed outcomes" `Quick test_supervisor_outcomes;
+         Alcotest.test_case "deadline quarantines rest" `Quick
+           test_supervisor_deadline;
+         Alcotest.test_case "breaker trips" `Quick test_supervisor_breaker_trips;
+         Alcotest.test_case "resume exactly once" `Quick test_resume_exactly_once;
+         QCheck_alcotest.to_alcotest prop_resume_exactly_once ]);
+      ("ingest",
+       [ Alcotest.test_case "clean round trip" `Quick test_ingest_clean;
+         Alcotest.test_case "bad documents and rows" `Quick test_ingest_bad_document;
+         Alcotest.test_case "bitflip quarantine" `Quick test_ingest_under_bitflip;
+         Alcotest.test_case "synth pipeline" `Quick test_synth_verified ]);
+      ("chaos",
+       [ Alcotest.test_case "catalog contract" `Quick test_chaos_contract;
+         Alcotest.test_case "stable smoke" `Quick test_chaos_stable;
+         QCheck_alcotest.to_alcotest prop_chaos_deterministic ]) ]
