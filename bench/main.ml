@@ -4,7 +4,73 @@
    series the paper reports); part 2 runs Bechamel micro-benchmarks —
    one Test.make per experiment plus the substrate hot paths.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe -- [--smoke] [--json [FILE]]
+
+   --smoke  runs the fast subset (figure-1 check, lint sweep, the
+            resilience and PAR sections) — the CI perf-trajectory step
+   --json   additionally writes every recorded metric as machine-
+            readable JSON (default file: BENCH.json) *)
+
+let smoke = ref false
+
+let json_out : string option ref = ref None
+
+(* ---- metric store: section -> metric -> value -------------------- *)
+
+let metrics : (string * (string * float) list ref) list ref = ref []
+
+let record ~section:s name v =
+  match List.assoc_opt s !metrics with
+  | Some cell -> cell := (name, v) :: !cell
+  | None -> metrics := !metrics @ [ (s, ref [ (name, v) ]) ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let write_json path =
+  let sections =
+    List.map
+      (fun (s, cell) ->
+        let fields =
+          List.rev_map
+            (fun (name, v) ->
+              Printf.sprintf "\"%s\": %s" (json_escape name) (json_float v))
+            !cell
+        in
+        Printf.sprintf "    \"%s\": {%s}" (json_escape s)
+          (String.concat ", " fields))
+      !metrics
+  in
+  let doc =
+    Printf.sprintf
+      "{\n  \"schema\": \"dfsm-bench/1\",\n  \"smoke\": %b,\n  \"jobs\": %d,\n\
+      \  \"sections\": {\n%s\n  }\n}\n"
+      !smoke (Par.jobs ())
+      (String.concat ",\n" sections)
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc doc);
+  Format.printf "@.wrote %s@." path
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
 let section title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
@@ -418,20 +484,15 @@ let lint_sweep () =
 
 let resilience () =
   section "RESILIENCE -- supervision overhead and the chaos harness";
-  let time f =
-    let t0 = Sys.time () in
-    let r = f () in
-    (r, Sys.time () -. t0)
-  in
-  let reps = 50 in
+  let reps = if !smoke then 10 else 50 in
   (* warm-up, so neither side pays first-touch costs *)
   ignore (Staticcheck.Linter.corpus_sweep ());
   ignore (Staticcheck.Linter.supervised_sweep ());
   let (), raw =
-    time (fun () -> for _ = 1 to reps do ignore (Staticcheck.Linter.corpus_sweep ()) done)
+    wall (fun () -> for _ = 1 to reps do ignore (Staticcheck.Linter.corpus_sweep ()) done)
   in
   let (), sup =
-    time (fun () ->
+    wall (fun () ->
         for _ = 1 to reps do ignore (Staticcheck.Linter.supervised_sweep ()) done)
   in
   let overhead = (sup -. raw) /. raw *. 100. in
@@ -440,7 +501,11 @@ let resilience () =
   Format.printf "  supervised          %8.1f ms@." (sup *. 1000.);
   Format.printf "  wrapper overhead    %+7.1f%%   (target: < 5%% on the fault-free path)@."
     overhead;
-  let report, chaos_t = time (fun () -> Chaos.run ()) in
+  record ~section:"RESILIENCE" "sweep-raw-ms" (raw *. 1000.);
+  record ~section:"RESILIENCE" "sweep-supervised-ms" (sup *. 1000.);
+  record ~section:"RESILIENCE" "wrapper-overhead-pct" overhead;
+  let plans = if !smoke then Fault.Catalog.smoke else Fault.Catalog.all in
+  let report, chaos_t = wall (fun () -> Chaos.run ~plans ()) in
   let items =
     List.fold_left
       (fun acc (r : Chaos.plan_run) ->
@@ -450,7 +515,153 @@ let resilience () =
   in
   Format.printf
     "@.chaos harness: %d plans x 3 legs (%d supervised items) in %.2f s; contract ok = %b@."
-    (List.length report.Chaos.runs) items chaos_t (Chaos.ok report)
+    (List.length report.Chaos.runs) items chaos_t (Chaos.ok report);
+  record ~section:"RESILIENCE" "chaos-s" chaos_t;
+  record ~section:"RESILIENCE" "chaos-ok" (if Chaos.ok report then 1. else 0.)
+
+(* ================= PAR: domain pool + analysis memo =============== *)
+
+(* Every batch path at -j 1 vs -j 2 / -j 4, with a built-in
+   byte-identical-output assertion (the determinism contract), plus
+   the analysis-memo hit rates.  Wall-clock numbers are honest for
+   this machine: with a single hardware thread the -j speedups hover
+   around 1.0 and the memo supplies the algorithmic win; on a
+   multicore host the same harness shows the pool scaling. *)
+let par_bench () =
+  section "PAR -- deterministic domain pool and the analysis memo";
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "hardware threads (recommended domain count): %d@.@." cores;
+  record ~section:"PAR" "cores" (float_of_int cores);
+  let job_counts = [ 1; 2; 4 ] in
+  let at_jobs j f =
+    Par.set_jobs j;
+    let r, t = wall f in
+    (r, t)
+  in
+  let batch name ~reps ~run ~show =
+    ignore (run ());  (* warm-up outside the timed region *)
+    let results = List.map (fun j -> (j, at_jobs j (fun () ->
+        let r = ref (run ()) in
+        for _ = 2 to reps do r := run () done;
+        !r))) job_counts in
+    let base = List.assoc 1 results in
+    let identical =
+      List.for_all (fun (_, (r, _)) -> show r = show (fst base)) results
+    in
+    Format.printf "%-22s %d reps:" name reps;
+    List.iter
+      (fun (j, (_, t)) ->
+        let speedup = snd base /. t in
+        Format.printf "  -j %d %7.1f ms (x%.2f)" j (t *. 1000.) speedup;
+        record ~section:"PAR"
+          (Printf.sprintf "%s-j%d-ms" name j) (t *. 1000.);
+        record ~section:"PAR"
+          (Printf.sprintf "%s-j%d-speedup" name j) (snd base /. t))
+      results;
+    Format.printf "  byte-identical=%b@." identical;
+    record ~section:"PAR" (name ^ "-identical") (if identical then 1. else 0.);
+    if not identical then
+      Format.printf "  *** PAR DETERMINISM VIOLATION in %s ***@." name
+  in
+  let reps = if !smoke then 2 else 5 in
+  (* a meatier lint batch than the 7-variant corpus: Progen functions *)
+  let gen_funcs = List.init (if !smoke then 24 else 96) (fun i ->
+      Staticcheck.Progen.func ~seed:(1000 + i)) in
+  batch "lint-progen" ~reps
+    ~run:(fun () -> Staticcheck.Linter.lint_program gen_funcs)
+    ~show:(fun rs ->
+        String.concat ";"
+          (List.map (fun r ->
+               Printf.sprintf "%s=%d" r.Staticcheck.Linter.func.Minic.Ast.name
+                 (List.length r.Staticcheck.Linter.findings)) rs));
+  let iis = Apps.Iis.setup () in
+  let iis_model = Apps.Iis.model iis in
+  let analyze_scenarios =
+    List.init (if !smoke then 64 else 256) (fun i ->
+        Apps.Iis.scenario
+          ~path:(Printf.sprintf "/..%%252f..%%252fdir%d%%252ffile%d" i (i * 7)))
+  in
+  batch "analyze-fanout" ~reps
+    ~run:(fun () ->
+        Pfsm.Analysis.analyze ~par:true iis_model ~scenarios:analyze_scenarios)
+    ~show:(fun rep ->
+        Format.asprintf "%d:%a" rep.Pfsm.Analysis.scenarios_run
+          (Format.pp_print_list
+             (fun ppf (f : Pfsm.Analysis.pfsm_finding) ->
+               Format.fprintf ppf "%s=%d" f.Pfsm.Analysis.operation
+                 f.Pfsm.Analysis.hidden_hits))
+          rep.Pfsm.Analysis.findings);
+  batch "synth-generate" ~reps
+    ~run:(fun () -> Vulndb.Synth.generate ~seed:20021130)
+    ~show:Vulndb.Csv.of_database;
+  batch "fault-matrix" ~reps:(max 1 (reps - 1))
+    ~run:(fun () -> Exploit.Fault_matrix.run ~plans:Fault.Catalog.smoke ())
+    ~show:(fun reports ->
+        String.concat ";"
+          (List.map (Format.asprintf "%a" Exploit.Fault_matrix.pp_report) reports));
+  batch "chaos-smoke" ~reps:1
+    ~run:(fun () -> Chaos.run ~plans:Fault.Catalog.smoke ())
+    ~show:Chaos.to_json;
+  Par.set_jobs (max 1 cores);
+  (* the memo: repeated analysis of one model over one scenario set —
+     exactly the recurrence the fault matrix and chaos legs produce
+     (same pair once per plan per leg).  [analyze] vs [analyze ~memo]
+     on the same inputs; the memoized pass pays two digests up front
+     and table lookups thereafter. *)
+  (* long request paths make [Model.run] scan kilobytes through the
+     double-decode predicates, while a memo hit pays one MD5 pass *)
+  let memo_scenarios =
+    List.init (if !smoke then 12 else 24) (fun i ->
+        let filler = String.concat "" (List.init 400 (fun _ -> "..%252f")) in
+        Apps.Iis.scenario ~path:(Printf.sprintf "/%s/dir%d/cmd.exe" filler i))
+  in
+  let memo_reps = if !smoke then 5 else 20 in
+  ignore (Pfsm.Analysis.analyze iis_model ~scenarios:memo_scenarios);
+  let (), plain =
+    wall (fun () ->
+        for _ = 1 to memo_reps do
+          ignore (Pfsm.Analysis.analyze iis_model ~scenarios:memo_scenarios)
+        done)
+  in
+  Pfsm.Analysis.memo_reset ();
+  let (), memod =
+    wall (fun () ->
+        for _ = 1 to memo_reps do
+          ignore (Pfsm.Analysis.analyze ~memo:true iis_model ~scenarios:memo_scenarios)
+        done)
+  in
+  let stats = Pfsm.Analysis.memo_stats () in
+  let hit_rate =
+    if stats.Pfsm.Analysis.lookups = 0 then 0.
+    else
+      float_of_int stats.Pfsm.Analysis.hits
+      /. float_of_int stats.Pfsm.Analysis.lookups
+  in
+  Format.printf
+    "@.analysis memo, IIS double-decode x %d scenario runs: plain %.1f ms, \
+     memoized %.1f ms (x%.1f); %d lookups, %d hits, %d misses (hit rate %.0f%%)@."
+    (memo_reps * List.length memo_scenarios)
+    (plain *. 1000.) (memod *. 1000.) (plain /. memod)
+    stats.Pfsm.Analysis.lookups stats.Pfsm.Analysis.hits
+    stats.Pfsm.Analysis.misses (hit_rate *. 100.);
+  record ~section:"PAR" "memo-plain-ms" (plain *. 1000.);
+  record ~section:"PAR" "memo-memoized-ms" (memod *. 1000.);
+  record ~section:"PAR" "memo-speedup" (plain /. memod);
+  record ~section:"PAR" "memo-hit-rate" hit_rate;
+  (* the chaos run's own hit rate, as surfaced in its report *)
+  let chaos_report = Chaos.run ~plans:Fault.Catalog.smoke () in
+  let m = chaos_report.Chaos.memo in
+  let chaos_rate =
+    if m.Pfsm.Analysis.lookups = 0 then 0.
+    else float_of_int m.Pfsm.Analysis.hits /. float_of_int m.Pfsm.Analysis.lookups
+  in
+  Format.printf
+    "chaos (smoke) memo: %d lookups, %d hits, %d misses (hit rate %.0f%%)@."
+    m.Pfsm.Analysis.lookups m.Pfsm.Analysis.hits m.Pfsm.Analysis.misses
+    (chaos_rate *. 100.);
+  record ~section:"PAR" "chaos-memo-lookups" (float_of_int m.Pfsm.Analysis.lookups);
+  record ~section:"PAR" "chaos-memo-hits" (float_of_int m.Pfsm.Analysis.hits);
+  record ~section:"PAR" "chaos-memo-hit-rate" chaos_rate
 
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
@@ -687,35 +898,74 @@ let run_benchmarks () =
     in
     List.iter
       (fun (name, estimate, r2) ->
-         Format.printf "  %-44s %14.1f ns/run   (r² = %.3f)@." name estimate r2)
+         Format.printf "  %-44s %14.1f ns/run   (r² = %.3f)@." name estimate r2;
+         record ~section:("BECHAMEL-" ^ group_name) (name ^ "-ns") estimate)
       rows
   in
   run_group "experiments" experiment_tests;
   run_group "substrate" substrate_tests
 
+let usage () =
+  prerr_endline
+    "usage: bench [--smoke] [--json [FILE]]\n\
+    \  --smoke        fast subset (figure 1, lint sweep, resilience, PAR)\n\
+    \  --json [FILE]  also write metrics as JSON (default BENCH.json)";
+  exit 2
+
+let parse_argv () =
+  let rec go = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        go rest
+    | "--json" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        json_out := Some path;
+        go rest
+    | "--json" :: rest ->
+        json_out := Some "BENCH.json";
+        go rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %S\n" arg;
+        usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
 let () =
-  fig1 ();
-  tab1 ();
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  fig7 ();
-  fig8 ();
-  tab2 ();
-  observations ();
-  verification ();
-  lemma ();
-  consistency ();
-  faults ();
-  ablation_aslr ();
-  ablation_interleavings ();
-  protection_matrix ();
-  auto_tool ();
-  baselines ();
-  trend_extension ();
-  lint_sweep ();
-  resilience ();
-  run_benchmarks ();
+  parse_argv ();
+  if !smoke then begin
+    fig1 ();
+    lint_sweep ();
+    resilience ();
+    par_bench ()
+  end
+  else begin
+    fig1 ();
+    tab1 ();
+    fig2 ();
+    fig3 ();
+    fig4 ();
+    fig5 ();
+    fig6 ();
+    fig7 ();
+    fig8 ();
+    tab2 ();
+    observations ();
+    verification ();
+    lemma ();
+    consistency ();
+    faults ();
+    ablation_aslr ();
+    ablation_interleavings ();
+    protection_matrix ();
+    auto_tool ();
+    baselines ();
+    trend_extension ();
+    lint_sweep ();
+    resilience ();
+    par_bench ();
+    run_benchmarks ()
+  end;
+  (match !json_out with Some path -> write_json path | None -> ());
+  Par.teardown ();
   Format.printf "@.done.@."

@@ -79,9 +79,22 @@ let sweep_finished cp report ~expected =
 let supervising resume checkpoint stop_after =
   resume || checkpoint <> None || stop_after <> None
 
+(* ---- parallelism -------------------------------------------------- *)
+
+(* Resolve the worker-domain count before the command body runs:
+   [-j N] wins, else $DFSM_JOBS, else the hardware count.  Invalid
+   values (non-integers, < 1) are usage errors — exit 2 per the
+   contract above.  Output never depends on the resolved count: every
+   parallel path reduces in input order. *)
+let with_jobs jobs k =
+  match Par.configure ?jobs () with
+  | Ok _ -> k ()
+  | Error msg -> `Error (false, msg)
+
 (* ---- commands ---------------------------------------------------- *)
 
-let stats seed =
+let stats jobs seed =
+  with_jobs jobs @@ fun () ->
   let db = Vulndb.Synth.generate ~seed in
   Format.printf "%a@." Vulndb.Stats.pp_breakdown db;
   `Ok 0
@@ -100,11 +113,12 @@ let dot app =
   print_string (Pfsm.Dot.of_model (model_of app));
   `Ok 0
 
-let exploit_cmd resume checkpoint stop_after =
+let exploit_cmd jobs resume checkpoint stop_after =
+  with_jobs jobs @@ fun () ->
   if supervising resume checkpoint stop_after then begin
     let cp = checkpoint_of ~default:".dfsm-exploit.checkpoint" resume checkpoint in
     let rows, report =
-      Exploit.Driver.supervised_rows ?checkpoint:cp ?stop_after ()
+      Exploit.Driver.supervised_rows ?checkpoint:cp ?stop_after ~parallel:true ()
     in
     let expected = List.length Exploit.Driver.app_row_groups in
     sweep_finished cp report ~expected;
@@ -126,7 +140,8 @@ let consistency () =
   Format.printf "all consistent: %b@." ok;
   gate ~ok "consistency: model and simulation disagree"
 
-let discover app =
+let discover jobs app =
+  with_jobs jobs @@ fun () ->
   let differential =
     match app with
     | "nullhttpd" -> (
@@ -165,11 +180,13 @@ let ablation () =
   Format.printf "control-flow hijacks prevented: %b@." ok;
   gate ~ok "ablation: a control-flow hijack survived ASLR"
 
-let csv seed =
+let csv jobs seed =
+  with_jobs jobs @@ fun () ->
   print_string (Vulndb.Csv.of_database (Vulndb.Synth.generate ~seed));
   `Ok 0
 
-let trend seed =
+let trend jobs seed =
+  with_jobs jobs @@ fun () ->
   let db = Vulndb.Synth.generate ~seed in
   Format.printf "reports per year:@.%a@." Vulndb.Trend.pp_series
     (Vulndb.Trend.per_year db);
@@ -257,12 +274,14 @@ let extract file object_var spec_src ints =
 
 (* The abstract-interpretation linter: a mini-C file, or the built-in
    corpus checked against its ground-truth expectations. *)
-let lint corpus file json arrays resume checkpoint stop_after =
+let lint jobs corpus file json arrays resume checkpoint stop_after =
+  with_jobs jobs @@ fun () ->
   if corpus then begin
     if supervising resume checkpoint stop_after then begin
       let cp = checkpoint_of ~default:".dfsm-lint.checkpoint" resume checkpoint in
       let rows, report =
-        Staticcheck.Linter.supervised_sweep ?checkpoint:cp ?stop_after ()
+        Staticcheck.Linter.supervised_sweep ?checkpoint:cp ?stop_after
+          ~parallel:true ()
       in
       let expected = List.length Minic.Corpus.all in
       sweep_finished cp report ~expected;
@@ -373,13 +392,15 @@ let baselines () =
   print_string (Baselines.Attack_graph.to_dot g);
   `Ok 0
 
-let faults smoke resume checkpoint stop_after =
+let faults jobs smoke resume checkpoint stop_after =
+  with_jobs jobs @@ fun () ->
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
   let reports, run_report =
     if supervising resume checkpoint stop_after then begin
       let cp = checkpoint_of ~default:".dfsm-faults.checkpoint" resume checkpoint in
       let reports, report =
-        Exploit.Fault_matrix.supervised_run ~plans ?checkpoint:cp ?stop_after ()
+        Exploit.Fault_matrix.supervised_run ~plans ?checkpoint:cp ?stop_after
+          ~parallel:true ()
       in
       sweep_finished cp report ~expected:(List.length plans);
       (reports, Some report)
@@ -404,7 +425,8 @@ let faults smoke resume checkpoint stop_after =
     ~ok:(benign && stable && supervised_ok)
     "fault matrix: benign-plan agreement or seed determinism violated"
 
-let chaos seed json smoke =
+let chaos jobs seed json smoke =
+  with_jobs jobs @@ fun () ->
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
   let report = Chaos.run ~seed ~plans () in
   if json then print_endline (Chaos.to_json report)
@@ -430,6 +452,13 @@ let app_arg =
 let seed_arg =
   Arg.(value & opt int 20021130 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel batch paths (default: \
+               $(b,DFSM_JOBS), else the hardware thread count). Output is \
+               byte-identical for every N; values < 1 are a usage error.")
+
 let resume_arg =
   Arg.(value & flag
        & info [ "resume" ]
@@ -449,7 +478,7 @@ let stop_after_arg =
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Figure-1 database breakdown")
-    Term.(ret (const stats $ seed_arg))
+    Term.(ret (const stats $ jobs_arg $ seed_arg))
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Print an application's FSM model and analysis")
@@ -461,7 +490,8 @@ let dot_cmd =
 
 let exploit_cmd_ =
   Cmd.v (Cmd.info "exploit" ~doc:"Run every canned exploit against every configuration")
-    Term.(ret (const exploit_cmd $ resume_arg $ checkpoint_arg $ stop_after_arg))
+    Term.(ret (const exploit_cmd $ jobs_arg $ resume_arg $ checkpoint_arg
+               $ stop_after_arg))
 
 let consistency_cmd =
   Cmd.v (Cmd.info "consistency" ~doc:"Cross-check model verdicts against simulations")
@@ -469,7 +499,7 @@ let consistency_cmd =
 
 let discover_cmd =
   Cmd.v (Cmd.info "discover" ~doc:"Hunt for hidden IMPL_ACPT paths (rediscovers #6255)")
-    Term.(ret (const discover $ app_arg))
+    Term.(ret (const discover $ jobs_arg $ app_arg))
 
 let lemma_cmd =
   Cmd.v (Cmd.info "lemma" ~doc:"Validate the foiling lemma in model and simulation")
@@ -485,11 +515,11 @@ let ablation_cmd =
 
 let csv_cmd =
   Cmd.v (Cmd.info "csv" ~doc:"Dump the synthetic database as CSV")
-    Term.(ret (const csv $ seed_arg))
+    Term.(ret (const csv $ jobs_arg $ seed_arg))
 
 let trend_cmd =
   Cmd.v (Cmd.info "trend" ~doc:"Per-year report series")
-    Term.(ret (const trend $ seed_arg))
+    Term.(ret (const trend $ jobs_arg $ seed_arg))
 
 let spec_arg =
   Arg.(required & opt (some string) None
@@ -553,7 +583,7 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Re-run the consistency matrix and lemma under every fault plan")
-    Term.(ret (const faults $ smoke_arg $ resume_arg $ checkpoint_arg
+    Term.(ret (const faults $ jobs_arg $ smoke_arg $ resume_arg $ checkpoint_arg
                $ stop_after_arg))
 
 let json_flag =
@@ -565,7 +595,7 @@ let chaos_cmd =
        ~doc:"Replay every fault plan against the supervised pipeline and check \
              the resilience contract: no lost items, bounded retries, \
              deterministic reports")
-    Term.(ret (const chaos $ seed_arg $ json_flag $ smoke_arg))
+    Term.(ret (const chaos $ jobs_arg $ seed_arg $ json_flag $ smoke_arg))
 
 let extract_cmd =
   Cmd.v
@@ -592,7 +622,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Abstract-interpretation linter with interpreter-validated findings")
-    Term.(ret (const lint $ corpus_flag $ lint_file_arg $ json_flag
+    Term.(ret (const lint $ jobs_arg $ corpus_flag $ lint_file_arg $ json_flag
                $ lint_arrays_arg $ resume_arg $ checkpoint_arg $ stop_after_arg))
 
 let main =

@@ -136,9 +136,13 @@ let model t =
         (if t.config.full_index_check then index_spec
          else P.Cmp (P.Le, P.Self, P.Lit (Pfsm.Value.Int 100)))
   in
+  (* capture the scalar base address, not [t]: closing over [t] would
+     drag the whole process image (1 MB of Machine.Memory) into the
+     model's marshal image and the analysis-memo digest *)
+  let tTvect = t.tTvect in
   let write_effect env =
     let x = Pfsm.Env.get_int "x" env and i = Pfsm.Env.get_int "i" env in
-    let target = t.tTvect + (4 * x) in
+    let target = tTvect + (4 * x) in
     let current = if target = slot then i else original in
     Pfsm.Env.add_addr "got.setuid.current" current env
   in

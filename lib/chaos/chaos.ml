@@ -17,6 +17,7 @@ type report = {
   seed : int;
   retry_max : int;
   runs : plan_run list;
+  memo : Pfsm.Analysis.memo_stats;
 }
 
 let default_seed = 20021130
@@ -70,8 +71,16 @@ let run_one ~config plan =
 
 let run ?(seed = default_seed) ?(plans = Fault.Catalog.all)
     ?(config = Supervisor.default_config) () =
+  (* Fresh memo per run: the report carries the counters, and [stable]
+     byte-compares consecutive runs — a warm cache would skew the
+     second run's numbers.  Plans fan out over the Par pool; each
+     worker installs its own domain-local injector, so every plan's
+     event stream is exactly the sequential one, and the memo counters
+     stay deterministic because misses = distinct (model, scenario)
+     digests regardless of which plan computes a shared key first. *)
+  Pfsm.Analysis.memo_reset ();
   let runs =
-    List.map
+    Par.map_list
       (fun (plan : Fault.Plan.t) ->
          let retry =
            { config.Supervisor.retry with
@@ -83,7 +92,8 @@ let run ?(seed = default_seed) ?(plans = Fault.Catalog.all)
   in
   { seed;
     retry_max = config.Supervisor.retry.Resilience.Retry.max_attempts;
-    runs }
+    runs;
+    memo = Pfsm.Analysis.memo_stats () }
 
 let leg_violations retry_max (pr : plan_run) (l : leg) =
   let where =
@@ -141,8 +151,10 @@ let plan_run_to_json pr =
 
 let to_json r =
   Printf.sprintf
-    "{\"seed\": %d, \"retry_max\": %d, \"ok\": %b, \"plans\": [%s]}"
-    r.seed r.retry_max (ok r)
+    "{\"seed\": %d, \"retry_max\": %d, \"ok\": %b, \"memo\": {\"lookups\": \
+     %d, \"hits\": %d, \"misses\": %d}, \"plans\": [%s]}"
+    r.seed r.retry_max (ok r) r.memo.Pfsm.Analysis.lookups
+    r.memo.Pfsm.Analysis.hits r.memo.Pfsm.Analysis.misses
     (String.concat ", " (List.map plan_run_to_json r.runs))
 
 let stable ?seed ?plans () =
@@ -170,6 +182,9 @@ let pp ppf r =
          (if pr.events = 1 then "" else "s");
        List.iter (fun l -> Format.fprintf ppf "  %a@," pp_leg l) pr.legs)
     r.runs;
+  Format.fprintf ppf "analysis memo: %d lookups, %d hits, %d misses@,"
+    r.memo.Pfsm.Analysis.lookups r.memo.Pfsm.Analysis.hits
+    r.memo.Pfsm.Analysis.misses;
   (match violations r with
    | [] -> Format.fprintf ppf "chaos: contract holds (no lost items, retries bounded)"
    | vs ->

@@ -31,6 +31,10 @@ type report = {
   seed : int;
   retry_max : int;  (** the policy's attempt ceiling, for {!bounded_retries} *)
   runs : plan_run list;
+  memo : Pfsm.Analysis.memo_stats;
+      (** analysis-memo counters for this run (the memo is reset when
+          the run starts, so consecutive runs report identical
+          numbers) *)
 }
 
 val default_seed : int

@@ -21,7 +21,9 @@ let hidden_paths ?budget model ~scenarios =
         in
         take [] scenarios
   in
-  let report = Pfsm.Analysis.analyze model ~scenarios:admitted in
+  (* scenario fan-out rides the Par pool; ordered reduction keeps the
+     report — and thus the hits — identical for any job count *)
+  let report = Pfsm.Analysis.analyze ~par:true model ~scenarios:admitted in
   let hits =
     List.filter_map
       (fun (f : Pfsm.Analysis.pfsm_finding) ->

@@ -1,11 +1,23 @@
-let installed : Injector.t option ref = ref None
+(* The ambient injector is domain-local: a plan installed in one
+   domain must never leak into pool workers (each would interleave
+   draws from the injector's single PRNG stream and destroy event
+   determinism).  Instead, Par is given a serial guard below — any
+   parallel map attempted while an injector is active degrades to
+   sequential execution in the installing domain. *)
+let installed : Injector.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let current () = !installed
+let slot () = Domain.DLS.get installed
+
+let current () = !(slot ())
+
+let () = Par.add_serial_guard (fun () -> current () <> None)
 
 let with_injector inj f =
-  let prev = !installed in
-  installed := Some inj;
-  Fun.protect ~finally:(fun () -> installed := prev) f
+  let r = slot () in
+  let prev = !r in
+  r := Some inj;
+  Fun.protect ~finally:(fun () -> r := prev) f
 
 let with_plan plan f = with_injector (Injector.create plan) f
 
@@ -15,26 +27,26 @@ let run plan f =
   (result, Injector.events inj)
 
 (* Seam queries: no-ops when no injector is installed, so the default
-   (unperturbed) execution pays one ref read per seam and nothing
+   (unperturbed) execution pays one DLS read per seam and nothing
    else. *)
 
 let heap_alloc_fails ~requested =
-  match !installed with
+  match current () with
   | None -> false
   | Some i -> Injector.heap_alloc_fails i ~requested
 
 let recv_request ~requested ~consumed =
-  match !installed with
+  match current () with
   | None -> requested
   | Some i -> Injector.recv_request i ~requested ~consumed
 
 let fs_denies ~path =
-  match !installed with None -> false | Some i -> Injector.fs_denies i ~path
+  match current () with None -> false | Some i -> Injector.fs_denies i ~path
 
 let mangle s =
-  match !installed with None -> s | Some i -> Injector.mangle i s
+  match current () with None -> s | Some i -> Injector.mangle i s
 
 let schedule_mutation ~steps =
-  match !installed with
+  match current () with
   | None -> None
   | Some i -> Injector.schedule_mutation i ~steps

@@ -1,0 +1,297 @@
+(* Deterministic multicore runtime: a fixed-size domain pool with
+   chunked, index-ordered map/filter_map.
+
+   The determinism contract: for a pure item function [f], every entry
+   of the result lands at the index of its input, so the reduced
+   output is byte-identical to the sequential run for any job count —
+   parallelism changes only the wall-clock, never the value.  Code
+   whose meaning depends on execution order (an installed fault
+   injector's PRNG stream, for instance) registers a serial guard and
+   is transparently run sequentially in the calling domain. *)
+
+(* ---- per-item seed splitting -------------------------------------- *)
+
+module Seed = struct
+  (* splitmix64 finalizer over (seed, index): child streams are
+     decorrelated from the parent and from each other, and depend only
+     on the pair — not on which domain runs the item or in what order.
+     Seeded fan-outs must draw from a child stream per item, never
+     from a shared generator. *)
+  let mix64 z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+              0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+              0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let child ~seed ~index =
+    let golden = 0x9E3779B97F4A7C15L in
+    let z =
+      mix64 (Int64.add (Int64.of_int seed)
+               (Int64.mul golden (Int64.of_int (index + 1))))
+    in
+    Int64.to_int (Int64.shift_right_logical z 2)
+end
+
+(* ---- job-count configuration -------------------------------------- *)
+
+let max_jobs = 128
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | None -> Error (Printf.sprintf "invalid job count %S (expected an integer)" s)
+  | Some n when n < 1 ->
+      Error (Printf.sprintf "invalid job count %d (must be >= 1)" n)
+  | Some n -> Ok (min n max_jobs)
+
+let env_var = "DFSM_JOBS"
+
+let jobs_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> Ok None
+  | Some s -> (
+      match parse_jobs s with
+      | Ok n -> Ok (Some n)
+      | Error e -> Error (env_var ^ ": " ^ e))
+
+(* The configured job count.  [None] until first use; resolved from
+   DFSM_JOBS, falling back to the hardware count.  A malformed
+   environment value is ignored here (library users keep working); the
+   CLI validates it up front via [configure] and exits 2. *)
+let jobs_ref = ref None
+
+let recommended () = min max_jobs (Domain.recommended_domain_count ())
+
+let default_jobs () =
+  match jobs_from_env () with
+  | Ok (Some n) -> n
+  | Ok None | Error _ -> recommended ()
+
+let jobs () =
+  match !jobs_ref with
+  | Some n -> n
+  | None ->
+      let n = default_jobs () in
+      jobs_ref := Some n;
+      n
+
+(* ---- the domain pool ---------------------------------------------- *)
+
+type job = {
+  run : int -> unit;          (* total-abstinence: must never raise *)
+  total : int;
+  chunk : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type pool = {
+  size : int;                          (* worker domains, = jobs - 1 *)
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable current : (int * job) option;  (* generation * job *)
+  mutable generation : int;
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set while a domain (worker or submitter) is inside a pool task:
+   nested parallel maps degrade to sequential instead of deadlocking
+   on the single shared pool. *)
+let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let entered () =
+  let r = Domain.DLS.get in_task in
+  let prev = !r in
+  r := true;
+  prev
+
+let leave prev = Domain.DLS.get in_task := prev
+
+let inside_task () = !(Domain.DLS.get in_task)
+
+let execute pool job =
+  let prev = entered () in
+  Fun.protect ~finally:(fun () -> leave prev) @@ fun () ->
+  let n = job.total in
+  let rec grab () =
+    let start = Atomic.fetch_and_add job.next job.chunk in
+    if start < n then begin
+      let stop = min n (start + job.chunk) in
+      for i = start to stop - 1 do
+        job.run i
+      done;
+      let finished =
+        Atomic.fetch_and_add job.completed (stop - start) + (stop - start)
+      in
+      if finished = n then begin
+        Mutex.lock pool.lock;
+        pool.current <- None;
+        Condition.broadcast pool.work_done;
+        Mutex.unlock pool.lock
+      end;
+      grab ()
+    end
+  in
+  grab ()
+
+let rec worker_loop pool last_gen =
+  Mutex.lock pool.lock;
+  let rec await () =
+    if pool.shutdown then None
+    else
+      match pool.current with
+      | Some (g, job) when g <> last_gen -> Some (g, job)
+      | Some _ | None ->
+          Condition.wait pool.work_ready pool.lock;
+          await ()
+  in
+  match await () with
+  | None -> Mutex.unlock pool.lock
+  | Some (g, job) ->
+      Mutex.unlock pool.lock;
+      execute pool job;
+      worker_loop pool g
+
+let spawn_pool ~size =
+  let pool =
+    { size;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      current = None;
+      generation = 0;
+      shutdown = false;
+      workers = [] }
+  in
+  pool.workers <-
+    List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let the_pool : pool option ref = ref None
+
+let teardown () =
+  match !the_pool with
+  | None -> ()
+  | Some pool ->
+      Mutex.lock pool.lock;
+      pool.shutdown <- true;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.lock;
+      List.iter Domain.join pool.workers;
+      the_pool := None
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Par.set_jobs: job count must be >= 1";
+  let n = min n max_jobs in
+  if !jobs_ref <> Some n then begin
+    teardown ();
+    jobs_ref := Some n
+  end
+
+let configure ?jobs:cli () =
+  match cli with
+  | Some n when n < 1 ->
+      Error (Printf.sprintf "-j: invalid job count %d (must be >= 1)" n)
+  | Some n ->
+      set_jobs n;
+      Ok (jobs ())
+  | None -> (
+      match jobs_from_env () with
+      | Error e -> Error e
+      | Ok (Some n) ->
+          set_jobs n;
+          Ok (jobs ())
+      | Ok None ->
+          set_jobs (recommended ());
+          Ok (jobs ()))
+
+let pool_for ~jobs:j =
+  let size = j - 1 in
+  match !the_pool with
+  | Some p when p.size = size -> p
+  | Some _ ->
+      teardown ();
+      let p = spawn_pool ~size in
+      the_pool := Some p;
+      p
+  | None ->
+      let p = spawn_pool ~size in
+      the_pool := Some p;
+      p
+
+let jobs_env_help =
+  "If set, DFSM_JOBS selects the worker-domain count for parallel batch \
+   commands (same meaning as -j N; the explicit flag wins). Values must be \
+   integers >= 1; invalid values are a usage error."
+
+(* ---- serial guards ------------------------------------------------ *)
+
+let serial_guards : (unit -> bool) list ref = ref []
+
+let add_serial_guard g = serial_guards := g :: !serial_guards
+
+let must_serialize () =
+  inside_task () || List.exists (fun g -> g ()) !serial_guards
+
+(* ---- ordered parallel maps ---------------------------------------- *)
+
+let submit pool job =
+  Mutex.lock pool.lock;
+  while pool.current <> None do
+    Condition.wait pool.work_done pool.lock
+  done;
+  pool.generation <- pool.generation + 1;
+  pool.current <- Some (pool.generation, job);
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  execute pool job;
+  Mutex.lock pool.lock;
+  while
+    (match pool.current with Some (_, j) -> j == job | None -> false)
+  do
+    Condition.wait pool.work_done pool.lock
+  done;
+  Mutex.unlock pool.lock
+
+let map f xs =
+  let n = Array.length xs in
+  let j = jobs () in
+  if n = 0 then [||]
+  else if j <= 1 || n <= 1 || must_serialize () then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let run i =
+      match f xs.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e
+    in
+    let job =
+      { run;
+        total = n;
+        chunk = max 1 (n / (j * 8));
+        next = Atomic.make 0;
+        completed = Atomic.make 0 }
+    in
+    submit (pool_for ~jobs:j) job;
+    (* deterministic error propagation: the lowest failing index wins,
+       independent of which domain hit it first *)
+    Array.iteri
+      (fun _ o -> match o with Some e -> raise e | None -> ())
+      errors;
+    Array.map
+      (function Some v -> v | None -> assert false)
+      results
+  end
+
+let filter_map f xs =
+  let opts = map f xs in
+  let kept = Array.to_list opts |> List.filter_map Fun.id in
+  Array.of_list kept
+
+let map_list f xs = Array.to_list (map f (Array.of_list xs))
+
+let filter_map_list f xs =
+  Array.to_list (map f (Array.of_list xs)) |> List.filter_map Fun.id

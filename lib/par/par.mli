@@ -1,0 +1,75 @@
+(** Deterministic multicore runtime.
+
+    A fixed-size domain pool with chunked, index-ordered [map] /
+    [filter_map].  The contract: for a pure item function, the result
+    is byte-identical to the sequential run for every job count —
+    parallelism changes wall-clock time, never values.  Seeded
+    fan-outs split a per-item child seed ({!Seed.child}) instead of
+    sharing a PRNG stream; order-sensitive code (an active fault
+    injector) registers a {!add_serial_guard} and transparently
+    degrades to sequential execution. *)
+
+module Seed : sig
+  (** [child ~seed ~index] derives a non-negative per-item seed via a
+      splitmix64 finalizer.  Depends only on [(seed, index)] — never on
+      domain assignment or scheduling. *)
+  val child : seed:int -> index:int -> int
+end
+
+val max_jobs : int
+(** Upper clamp on any configured job count. *)
+
+val env_var : string
+(** ["DFSM_JOBS"]. *)
+
+val parse_jobs : string -> (int, string) result
+(** Parse a job count; [Error] for non-integers and values [< 1],
+    values above {!max_jobs} are clamped. *)
+
+val jobs_from_env : unit -> (int option, string) result
+(** Read {!env_var}: [Ok None] when unset, [Ok (Some n)] when valid,
+    [Error _] when malformed. *)
+
+val jobs : unit -> int
+(** The effective job count.  Resolved on first use from [DFSM_JOBS],
+    falling back to [Domain.recommended_domain_count ()]; a malformed
+    environment value is ignored here (the CLI rejects it up front via
+    {!configure}). *)
+
+val set_jobs : int -> unit
+(** Set the job count (clamped to [1 .. max_jobs]); tears down and
+    respawns the pool when the size changes.
+    @raise Invalid_argument if [< 1]. *)
+
+val configure : ?jobs:int -> unit -> (int, string) result
+(** Resolve the job count for a CLI invocation: the explicit [?jobs]
+    wins, else [DFSM_JOBS], else the hardware count.  Unlike {!jobs},
+    a malformed environment value (or non-positive [?jobs]) is an
+    [Error] — callers map it to exit code 2. *)
+
+val jobs_env_help : string
+(** One-line help text describing [DFSM_JOBS] for CLI man pages. *)
+
+val add_serial_guard : (unit -> bool) -> unit
+(** Register a predicate checked at every [map] entry; when any guard
+    returns [true] the map runs sequentially in the calling domain.
+    Used by [Fault.Hooks] so an active injector keeps its
+    deterministic event stream. *)
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+(** Ordered parallel map: [map f xs] equals [Array.map f xs] for pure
+    [f], chunked over the domain pool.  If any item raises, the
+    exception of the lowest failing index is re-raised after all items
+    settle.  Nested maps (from inside an item function) run
+    sequentially. *)
+
+val filter_map : ('a -> 'b option) -> 'a array -> 'b array
+
+val map_list : ('a -> 'b) -> 'a list -> 'b list
+(** [map] over lists, preserving order. *)
+
+val filter_map_list : ('a -> 'b option) -> 'a list -> 'b list
+
+val teardown : unit -> unit
+(** Join all pool domains.  Safe to call when no pool exists; a later
+    map respawns on demand. *)

@@ -13,8 +13,123 @@ type report = {
   findings : pfsm_finding list;
 }
 
-let analyze model ~scenarios =
-  let traces = List.map (fun env -> (env, Model.run model ~env)) scenarios in
+(* ---- digest-keyed trace memo --------------------------------------
+   Key = model digest x scenario digest, each the MD5 of the marshal
+   image (closures included).  Sound because [Model.run] is pure —
+   predicates, actions and effects are arithmetic over the env, with
+   no fault-seam calls — so equal inputs always yield the equal trace,
+   installed injector or not.  Hashconsing ([Primitive.make] interns
+   every predicate) makes the marshal image's sharing a function of
+   structure, so two independently built but identical models collide
+   on the same key.  Model digests are additionally cached by physical
+   identity: a model is built once and analyzed against many
+   scenarios, so the expensive half of the key is paid once per model
+   and a warm lookup costs only the (small) scenario digest.
+
+   The cache is compute-once: the first caller of a key publishes a
+   [Computing] marker and evaluates outside the lock; concurrent
+   callers of the same key block on the condvar instead of recomputing.
+   That keeps the counters deterministic under any scheduling:
+   [misses] = distinct keys, [hits] = lookups − misses. *)
+
+type memo_stats = { lookups : int; hits : int; misses : int }
+
+type memo_cell = Computing | Done of Trace.t
+
+let memo_lock = Mutex.create ()
+let memo_cond = Condition.create ()
+let memo_table : (string, memo_cell) Hashtbl.t = Hashtbl.create 512
+let memo_lookups = ref 0
+let memo_hits = ref 0
+let memo_misses = ref 0
+
+(* identity-keyed digest cache; a duplicate insert under a race is
+   harmless (both compute the same digest) *)
+let model_digests : (Model.t * string) list ref = ref []
+
+let model_digest model =
+  let cached =
+    Mutex.lock memo_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock memo_lock)
+      (fun () ->
+        List.find_opt (fun (m, _) -> m == model) !model_digests)
+  in
+  match cached with
+  | Some (_, d) -> d
+  | None ->
+      let d = Digest.string (Marshal.to_string model [ Marshal.Closures ]) in
+      Mutex.lock memo_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock memo_lock)
+        (fun () ->
+          if not (List.exists (fun (m, _) -> m == model) !model_digests) then
+            model_digests := (model, d) :: !model_digests);
+      d
+
+let memo_key model env =
+  model_digest model
+  ^ Digest.string (Marshal.to_string env [ Marshal.Closures ])
+
+let memo_stats () =
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      { lookups = !memo_lookups; hits = !memo_hits; misses = !memo_misses })
+
+let memo_reset () =
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      Hashtbl.reset memo_table;
+      memo_lookups := 0;
+      memo_hits := 0;
+      memo_misses := 0)
+
+let run_memo model ~env =
+  let key = memo_key model env in
+  Mutex.lock memo_lock;
+  incr memo_lookups;
+  let rec acquire () =
+    match Hashtbl.find_opt memo_table key with
+    | Some (Done trace) ->
+        incr memo_hits;
+        Mutex.unlock memo_lock;
+        trace
+    | Some Computing ->
+        Condition.wait memo_cond memo_lock;
+        acquire ()
+    | None -> (
+        incr memo_misses;
+        Hashtbl.replace memo_table key Computing;
+        Mutex.unlock memo_lock;
+        match Model.run model ~env with
+        | trace ->
+            Mutex.lock memo_lock;
+            Hashtbl.replace memo_table key (Done trace);
+            Condition.broadcast memo_cond;
+            Mutex.unlock memo_lock;
+            trace
+        | exception e ->
+            Mutex.lock memo_lock;
+            Hashtbl.remove memo_table key;
+            Condition.broadcast memo_cond;
+            Mutex.unlock memo_lock;
+            raise e)
+  in
+  acquire ()
+
+let analyze ?(par = false) ?(memo = false) model ~scenarios =
+  let run env =
+    if memo then run_memo model ~env else Model.run model ~env
+  in
+  let trace_of env = (env, run env) in
+  let traces =
+    if par then Par.map_list trace_of scenarios
+    else List.map trace_of scenarios
+  in
   let finding_of (op_name, pfsm) =
     let hits =
       List.filter_map

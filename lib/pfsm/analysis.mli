@@ -17,7 +17,37 @@ type report = {
   findings : pfsm_finding list;
 }
 
-val analyze : Model.t -> scenarios:Env.t list -> report
+val analyze : ?par:bool -> ?memo:bool -> Model.t -> scenarios:Env.t list -> report
+(** [par] fans the scenarios out over the {!Par} domain pool (ordered
+    reduction — the report is byte-identical to the sequential run for
+    any job count).  [memo] routes each scenario through {!run_memo}.
+    Both default to [false]. *)
+
+(** {2 Digest-keyed trace memo}
+
+    [Model.run] is pure, so a trace is a function of the
+    [(model, scenario)] pair alone.  The memo keys on
+    model digest x scenario digest — each the MD5 of the marshal
+    image, closures included; hashconsed predicates make that image
+    structure-determined, so independently constructed but identical
+    models share entries.  Model digests are cached by physical
+    identity (a model is analyzed against many scenarios), so a warm
+    lookup pays only the small scenario digest.  Compute-once:
+    concurrent lookups of one key block rather than recompute, which
+    keeps the counters deterministic under any scheduling
+    ([misses] = distinct keys ever computed). *)
+
+val run_memo : Model.t -> env:Env.t -> Trace.t
+(** Memoized [Model.run]. *)
+
+type memo_stats = { lookups : int; hits : int; misses : int }
+
+val memo_stats : unit -> memo_stats
+
+val memo_reset : unit -> unit
+(** Drop all entries and zero the counters — run this at the start of
+    a harness whose output includes the counters, so consecutive runs
+    report identical numbers. *)
 
 val exploited : report -> (Env.t * Trace.t) list
 

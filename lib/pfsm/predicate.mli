@@ -57,6 +57,27 @@ val between : term -> low:int -> high:int -> t
 (** [low <= term && term <= high] — the paper's canonical
     [0 <= x <= 100] array-index predicate. *)
 
+(** {2 Hashconsing} *)
+
+val intern : t -> t
+(** Canonicalize through the hashcons tables: the result is
+    structurally equal to the input, and structurally equal interned
+    predicates are physically equal.  Maximal sharing makes the
+    marshal image of an interned model depend on structure alone —
+    the property the analysis-memo digest key relies on.  Thread-safe;
+    called once at construction time ({!Primitive.make}), never on the
+    evaluation hot path. *)
+
+val equal : t -> t -> bool
+(** Structural equality with a physical fast path (free after
+    {!intern}). *)
+
+type intern_stats = { distinct : int; hits : int }
+
+val intern_stats : unit -> intern_stats
+(** [distinct] canonical nodes live in the tables; [hits] lookups that
+    found an existing node. *)
+
 val pp_term : Format.formatter -> term -> unit
 
 val pp : Format.formatter -> t -> unit

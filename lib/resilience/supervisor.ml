@@ -23,7 +23,48 @@ let item_policy (config : config) id =
   { config.retry with Retry.seed = config.retry.seed lxor Hashtbl.hash id }
 
 let run ?(label = "supervised") ?(config = default_config) ?checkpoint
-    ?stop_after items =
+    ?stop_after ?(parallel = false) items =
+  (* Parallelism by speculation: first invocations of the fresh items
+     run on the Par pool up front, then the supervision loop replays
+     sequentially, consuming each speculative result at the item's
+     first invocation.  The replay owns every piece of shared state —
+     virtual clock, breakers, deadline fuel, checkpoint journal — so
+     accounting is exactly-once and the report is byte-identical to
+     the sequential run.  Invocation counts align too: speculation is
+     call #1 and the replay's own calls continue at #2, so items whose
+     outcome depends on how often they ran (fail-twice-then-succeed
+     fakes) still report identically.  Requires only that distinct
+     items do not share mutable state.  Speculation is skipped under
+     [stop_after] (items past the kill must never execute) and under
+     an active fault injector (its PRNG stream is order-sensitive). *)
+  let speculated : (string, _ result) Hashtbl.t = Hashtbl.create 16 in
+  if
+    parallel && stop_after = None
+    && Fault.Hooks.current () = None
+    && Par.jobs () > 1
+  then begin
+    let fresh =
+      List.filter
+        (fun it ->
+          match checkpoint with
+          | Some cp -> not (Checkpoint.seen cp it.id)
+          | None -> true)
+        items
+    in
+    Par.map_list
+      (fun it ->
+        let r = match it.work () with v -> Ok v | exception e -> Error e in
+        (it.id, r))
+      fresh
+    |> List.iter (fun (id, r) -> Hashtbl.replace speculated id r)
+  end;
+  let invoke it =
+    match Hashtbl.find_opt speculated it.id with
+    | Some r -> (
+        Hashtbl.remove speculated it.id;
+        match r with Ok v -> v | Error e -> raise e)
+    | None -> it.work ()
+  in
   let quarantined = Quarantine.create () in
   let breakers = Hashtbl.create 7 in
   let rev_breakers = ref [] in
@@ -101,7 +142,7 @@ let run ?(label = "supervised") ?(config = default_config) ?checkpoint
                          retry_or k
                            (Quarantine.Breaker_open { resource = it.resource })
                        else
-                         match it.work () with
+                         match invoke it with
                          | v ->
                              Breaker.success breaker;
                              (match checkpoint with

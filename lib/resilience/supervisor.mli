@@ -49,9 +49,20 @@ val run :
   ?config:config ->
   ?checkpoint:Checkpoint.t ->
   ?stop_after:int ->
+  ?parallel:bool ->
   'a item list ->
   'a outcome
 (** [stop_after] simulates an interruption: after that many items
     have been executed (checkpoint skips not counted) the sweep stops
     dead, leaving the rest unprocessed and unreported — exactly what
-    a kill would do.  Used by the resume tests and [--stop-after]. *)
+    a kill would do.  Used by the resume tests and [--stop-after].
+
+    [parallel] (default false) speculates the first invocation of each
+    fresh item on the {!Par} domain pool, then replays the supervision
+    loop sequentially, consuming each speculative result at the item's
+    first invocation.  Clock, breakers, deadline and checkpoint
+    appends all live in the replaying domain, so {!Run_report}
+    accounting stays exactly-once and the outcome is byte-identical to
+    the sequential run for any job count — provided distinct items do
+    not share mutable state.  Ignored (safely sequential) under
+    [stop_after], an active fault injector, or [-j 1]. *)

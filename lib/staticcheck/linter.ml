@@ -24,7 +24,9 @@ let lint ?(config = Absint.default_config) (f : A.func) =
     loop_iterations = result.Absint.loop_iterations;
     widenings = result.Absint.widenings }
 
-let lint_program ?config fs = List.map (fun f -> lint ?config f) fs
+(* functions lint independently; ordered Par reduction keeps the
+   report list identical to the sequential one *)
+let lint_program ?config fs = Par.map_list (fun f -> lint ?config f) fs
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>%s: %d finding%s  (cfg %d nodes / %d edges, %d \
@@ -70,20 +72,29 @@ let expectations =
     ("ReadPOSTData (|| loop, #6255)", Flagged [ "recv-overflow" ]);
     ("ReadPOSTData (&& fix)", Clean) ]
 
+module String_set = Set.Make (String)
+
 let row_ok expected (r : report) =
   match expected with
   | Clean -> r.findings = []
   | Flagged kinds ->
-      let names = List.map (fun f -> Finding.kind_name f.Finding.kind) r.findings in
+      let names =
+        String_set.of_list
+          (List.map (fun f -> Finding.kind_name f.Finding.kind) r.findings)
+      in
       r.findings <> []
       && List.for_all Finding.is_confirmed r.findings
-      && List.for_all (fun k -> List.mem k names) kinds
+      && List.for_all (fun k -> String_set.mem k names) kinds
 
 let corpus_config =
   { Absint.default_config with Absint.arrays = Minic.Corpus.tTflag_arrays }
 
+(* Each corpus variant lints independently; the Par map keeps row
+   order, so the sweep is byte-identical to the sequential one.  Under
+   an active fault plan the serial guard drops to sequential, keeping
+   the injector's event stream intact. *)
 let corpus_sweep () =
-  List.map
+  Par.map_list
     (fun (label, f) ->
        let expected =
          match List.assoc_opt label expectations with
@@ -119,10 +130,10 @@ let sweep_item ~config (label, f) =
          { label; expected; report; ok = row_ok expected report }) }
 
 let supervised_sweep ?(config = corpus_config) ?supervise ?checkpoint
-    ?stop_after () =
+    ?stop_after ?parallel () =
   let outcome =
     Resilience.Supervisor.run ~label:"lint-sweep" ?config:supervise ?checkpoint
-      ?stop_after
+      ?stop_after ?parallel
       (List.map (sweep_item ~config) Minic.Corpus.all)
   in
   (List.map snd outcome.Resilience.Supervisor.results,

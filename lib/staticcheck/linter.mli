@@ -45,13 +45,17 @@ val corpus_config : Absint.config
 (** {!Absint.default_config} plus the tTflag array registrations. *)
 
 val corpus_sweep : unit -> sweep_row list
-(** Lint every {!Minic.Corpus} variant against its expectation. *)
+(** Lint every {!Minic.Corpus} variant against its expectation.
+    Variants fan out over the {!Par} domain pool with ordered
+    reduction — rows are byte-identical to the sequential sweep for
+    any job count. *)
 
 val supervised_sweep :
   ?config:Absint.config ->
   ?supervise:Resilience.Supervisor.config ->
   ?checkpoint:Resilience.Checkpoint.t ->
   ?stop_after:int ->
+  ?parallel:bool ->
   unit ->
   sweep_row list * Resilience.Run_report.t
 (** The corpus sweep as a supervised batch: one work item per variant

@@ -75,16 +75,16 @@ let synth_report rng ~id ~category ~flaw =
   Report.make ~id ~title ~date:(date_of rng) ~category ~software ~range ~flaw
     ~synthetic:true ()
 
+(* Generation is sharded per category.  Every per-category report
+   count is fixed by the quotas and the curated database before a
+   single PRNG draw, so each category owns a precomputed id block
+   (prefix sums over [Category.all]) and a child PRNG stream split
+   from the seed ([Par.Seed.child]).  Shards therefore fan out over
+   the domain pool and merge into a database that is a pure function
+   of [seed] — identical for any job count. *)
 let generate ~seed =
-  let rng = Prng.create ~seed in
   let db = Database.empty () in
   List.iter (Database.add db) Seed_data.reports;
-  let next_id = ref synthetic_id_base in
-  let fresh_id () =
-    let id = !next_id in
-    incr next_id;
-    id
-  in
   let curated_in category flaw_opt =
     List.length
       (List.filter
@@ -95,24 +95,48 @@ let generate ~seed =
                 | Some f -> rep.Report.flaw = f))
          Seed_data.reports)
   in
-  let emit category flaw n =
-    for _ = 1 to n do
-      Database.add db (synth_report rng ~id:(fresh_id ()) ~category ~flaw)
-    done
-  in
-  let fill category =
-    let target = Category.paper_count category in
-    let flaws = flaw_quota category in
-    let emitted =
-      List.fold_left
-        (fun acc (flaw, quota) ->
-           let n = max 0 (quota - curated_in category (Some flaw)) in
-           emit category flaw n;
-           acc + n)
-        0 flaws
+  (* emission plan per category: (flaw, count) in emission order *)
+  let plan_for category =
+    let per_flaw =
+      List.map
+        (fun (flaw, quota) ->
+          (flaw, max 0 (quota - curated_in category (Some flaw))))
+        (flaw_quota category)
     in
-    let already = curated_in category None + emitted in
-    emit category Report.Other_flaw (max 0 (target - already))
+    let emitted = List.fold_left (fun acc (_, n) -> acc + n) 0 per_flaw in
+    let target = Category.paper_count category in
+    let other = max 0 (target - (curated_in category None + emitted)) in
+    per_flaw @ [ (Report.Other_flaw, other) ]
   in
-  List.iter fill Category.all;
+  let categories = Array.of_list Category.all in
+  let plans = Array.map plan_for categories in
+  let plan_total plan = List.fold_left (fun acc (_, n) -> acc + n) 0 plan in
+  let bases = Array.make (Array.length categories) synthetic_id_base in
+  let acc = ref synthetic_id_base in
+  Array.iteri
+    (fun i plan ->
+      bases.(i) <- !acc;
+      acc := !acc + plan_total plan)
+    plans;
+  let shard i =
+    let category = categories.(i) in
+    let rng = Prng.create ~seed:(Par.Seed.child ~seed ~index:i) in
+    let next = ref bases.(i) in
+    List.concat_map
+      (fun (flaw, n) ->
+        (* explicit recursion: ids and PRNG draws must advance in
+           emission order (List.init leaves the order unspecified) *)
+        let rec emit k acc =
+          if k = 0 then List.rev acc
+          else begin
+            let id = !next in
+            incr next;
+            emit (k - 1) (synth_report rng ~id ~category ~flaw :: acc)
+          end
+        in
+        emit n [])
+      plans.(i)
+  in
+  let shards = Par.map shard (Array.init (Array.length categories) Fun.id) in
+  Array.iter (List.iter (Database.add db)) shards;
   db
