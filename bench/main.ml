@@ -663,6 +663,80 @@ let par_bench () =
   record ~section:"PAR" "chaos-memo-hits" (float_of_int m.Pfsm.Analysis.hits);
   record ~section:"PAR" "chaos-memo-hit-rate" chaos_rate
 
+(* ================= OBS: tracing + metrics overhead ================ *)
+
+(* The observability contract: spans over virtual time cost nothing
+   when tracing is off and stay cheap when it is on (target < 5 % on
+   the lint sweep).  Also exercises the wall-clock annotation mode the
+   determinism-traced paths never use. *)
+let obs_bench () =
+  section "OBS -- tracing and metrics overhead over the lint sweep";
+  let reps = if !smoke then 20 else 100 in
+  let gen_funcs =
+    List.init 48 (fun i -> Staticcheck.Progen.func ~seed:(2000 + i))
+  in
+  let run () = ignore (Staticcheck.Linter.lint_program gen_funcs) in
+  (* warm up the pool, the minor heap and the analysis caches so the
+     first timed loop does not absorb one-time costs *)
+  for _ = 1 to 3 do run () done;
+  (* interleaved best-of-5 trials with a major GC before each loop:
+     alternating off/on cancels machine drift, and taking the minimum
+     discards trials that absorbed a GC slice or a scheduling stall *)
+  let trial f =
+    Gc.major ();
+    let (), t = wall (fun () -> for _ = 1 to reps do f () done) in
+    t
+  in
+  let off = ref infinity and on_ = ref infinity in
+  let events = ref [] in
+  for _ = 1 to 5 do
+    let t_off = trial run in
+    if t_off < !off then off := t_off;
+    Obs.Trace.start ();
+    let t_on = trial run in
+    events := Obs.Trace.drain ();
+    if t_on < !on_ then on_ := t_on
+  done;
+  let off = !off and on_ = !on_ and events = !events in
+  let overhead = (on_ -. off) /. off *. 100. in
+  Format.printf "lint sweep (%d Progen functions), %d repetitions:@."
+    (List.length gen_funcs) reps;
+  Format.printf "  tracing off         %8.1f ms@." (off *. 1000.);
+  Format.printf "  tracing on          %8.1f ms  (%d events, %d dropped)@."
+    (on_ *. 1000.) (List.length events) (Obs.Trace.dropped ());
+  Format.printf
+    "  tracing overhead    %+7.1f%%   (target: < 5%% on the lint sweep)@."
+    overhead;
+  record ~section:"OBS" "trace-off-ms" (off *. 1000.);
+  record ~section:"OBS" "trace-on-ms" (on_ *. 1000.);
+  record ~section:"OBS" "trace-overhead-pct" overhead;
+  record ~section:"OBS" "trace-events" (float_of_int (List.length events));
+  let ok = overhead < 5.0 in
+  record ~section:"OBS" "trace-overhead-ok" (if ok then 1. else 0.);
+  if !smoke && not ok then
+    Format.printf "  *** OBS OVERHEAD TARGET MISSED (%.1f%% >= 5%%) ***@."
+      overhead;
+  (* wall-clock annotation: opt-in, breaks byte-identity, bench-only *)
+  Obs.Trace.set_wall_clock (Some Unix.gettimeofday);
+  Obs.Trace.start ();
+  run ();
+  let annotated = Obs.Trace.drain () in
+  Obs.Trace.set_wall_clock None;
+  let with_wall =
+    List.length
+      (List.filter (fun e -> e.Obs.Trace.wall_us <> None) annotated)
+  in
+  Format.printf
+    "wall-clock annotated pass: %d/%d events carry wall_us@." with_wall
+    (List.length annotated);
+  record ~section:"OBS" "wall-annotated-events" (float_of_int with_wall);
+  (* the metrics layer is always on; a snapshot is the fold of every
+     per-domain cell and should stay microscopic *)
+  let snap, snap_t = wall (fun () -> Obs.Metrics.snapshot ()) in
+  Format.printf "metrics snapshot: %d metrics in %.3f ms@."
+    (List.length snap) (snap_t *. 1000.);
+  record ~section:"OBS" "snapshot-ms" (snap_t *. 1000.)
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -908,7 +982,7 @@ let run_benchmarks () =
 let usage () =
   prerr_endline
     "usage: bench [--smoke] [--json [FILE]]\n\
-    \  --smoke        fast subset (figure 1, lint sweep, resilience, PAR)\n\
+    \  --smoke        fast subset (figure 1, lint sweep, resilience, PAR, OBS)\n\
     \  --json [FILE]  also write metrics as JSON (default BENCH.json)";
   exit 2
 
@@ -937,7 +1011,8 @@ let () =
     fig1 ();
     lint_sweep ();
     resilience ();
-    par_bench ()
+    par_bench ();
+    obs_bench ()
   end
   else begin
     fig1 ();
@@ -964,6 +1039,7 @@ let () =
     lint_sweep ();
     resilience ();
     par_bench ();
+    obs_bench ();
     run_benchmarks ()
   end;
   (match !json_out with Some path -> write_json path | None -> ());

@@ -79,6 +79,39 @@ let sweep_finished cp report ~expected =
 let supervising resume checkpoint stop_after =
   resume || checkpoint <> None || stop_after <> None
 
+(* ---- observability ------------------------------------------------ *)
+
+(* [--trace FILE] / [--metrics FILE] wrap a batch command in the obs
+   layer: tracing starts before the command body and the merged trace
+   is written on the way out (even when the gate fails), as JSONL when
+   FILE ends in .jsonl and Chrome trace_event JSON otherwise.  Metrics
+   are reset up front so the written snapshot covers exactly this
+   invocation.  Traces are over virtual time — byte-identical for a
+   given seed at every -j. *)
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents)
+
+let with_obs ?trace ?metrics k =
+  if metrics <> None then Obs.Metrics.reset ();
+  if trace <> None then Obs.Trace.start ();
+  let finish () =
+    (match trace with
+     | None -> ()
+     | Some path ->
+         let events = Obs.Trace.drain () in
+         let rendered =
+           if Filename.check_suffix path ".jsonl" then Obs.Trace.to_jsonl events
+           else Obs.Trace.to_chrome events
+         in
+         write_file path rendered);
+    match metrics with
+    | None -> ()
+    | Some path ->
+        write_file path (Obs.Metrics.to_json (Obs.Metrics.snapshot ()) ^ "\n")
+  in
+  Fun.protect ~finally:finish k
+
 (* ---- parallelism -------------------------------------------------- *)
 
 (* Resolve the worker-domain count before the command body runs:
@@ -113,8 +146,9 @@ let dot app =
   print_string (Pfsm.Dot.of_model (model_of app));
   `Ok 0
 
-let exploit_cmd jobs resume checkpoint stop_after =
+let exploit_cmd jobs resume checkpoint stop_after trace metrics =
   with_jobs jobs @@ fun () ->
+  with_obs ?trace ?metrics @@ fun () ->
   if supervising resume checkpoint stop_after then begin
     let cp = checkpoint_of ~default:".dfsm-exploit.checkpoint" resume checkpoint in
     let rows, report =
@@ -169,9 +203,33 @@ let lemma () =
   Format.printf "lemma holds: %b@." ok;
   gate ~ok "lemma: a protected exploit was not foiled"
 
-let metrics () =
-  let ms = List.map (fun a -> Pfsm.Metrics.of_model (model_of a)) apps in
-  Format.printf "%a@." Pfsm.Metrics.pp_table ms;
+(* Structural model metrics (Observations 1-3) plus the observability
+   summary: per-pFSM transition coverage over every application's
+   scenarios — the Figure-8 taxonomy as a measured quantity — and the
+   runtime metrics snapshot the sweep accumulated. *)
+let metrics jobs json =
+  with_jobs jobs @@ fun () ->
+  Obs.Metrics.reset ();
+  let coverage =
+    List.fold_left
+      (fun acc app ->
+        let report =
+          Pfsm.Analysis.analyze (model_of app) ~scenarios:(scenarios_of app)
+        in
+        Pfsm.Coverage.merge acc (Pfsm.Coverage.of_report report))
+      Pfsm.Coverage.empty apps
+  in
+  let snap = Obs.Metrics.snapshot () in
+  if json then
+    Printf.printf "{\"coverage\": %s, \"obs\": %s}\n"
+      (Pfsm.Coverage.to_json coverage)
+      (Obs.Metrics.to_json snap)
+  else begin
+    let ms = List.map (fun a -> Pfsm.Metrics.of_model (model_of a)) apps in
+    Format.printf "%a@." Pfsm.Metrics.pp_table ms;
+    Format.printf "%a@." Pfsm.Coverage.pp coverage;
+    Format.printf "runtime metrics:@.%a@." Obs.Metrics.pp snap
+  end;
   `Ok 0
 
 let ablation () =
@@ -274,8 +332,9 @@ let extract file object_var spec_src ints =
 
 (* The abstract-interpretation linter: a mini-C file, or the built-in
    corpus checked against its ground-truth expectations. *)
-let lint jobs corpus file json arrays resume checkpoint stop_after =
+let lint jobs corpus file json arrays resume checkpoint stop_after trace metrics =
   with_jobs jobs @@ fun () ->
+  with_obs ?trace ?metrics @@ fun () ->
   if corpus then begin
     if supervising resume checkpoint stop_after then begin
       let cp = checkpoint_of ~default:".dfsm-lint.checkpoint" resume checkpoint in
@@ -392,8 +451,9 @@ let baselines () =
   print_string (Baselines.Attack_graph.to_dot g);
   `Ok 0
 
-let faults jobs smoke resume checkpoint stop_after =
+let faults jobs smoke resume checkpoint stop_after trace metrics =
   with_jobs jobs @@ fun () ->
+  with_obs ?trace ?metrics @@ fun () ->
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
   let reports, run_report =
     if supervising resume checkpoint stop_after then begin
@@ -425,8 +485,9 @@ let faults jobs smoke resume checkpoint stop_after =
     ~ok:(benign && stable && supervised_ok)
     "fault matrix: benign-plan agreement or seed determinism violated"
 
-let chaos jobs seed json smoke =
+let chaos jobs seed json smoke trace metrics =
   with_jobs jobs @@ fun () ->
+  with_obs ?trace ?metrics @@ fun () ->
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
   let report = Chaos.run ~seed ~plans () in
   if json then print_endline (Chaos.to_json report)
@@ -476,6 +537,19 @@ let stop_after_arg =
        & info [ "stop-after" ] ~docv:"N"
          ~doc:"Simulate an interruption: stop dead after N items (testing aid).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a deterministic virtual-time trace of the run: JSONL when \
+               FILE ends in .jsonl, Chrome trace_event JSON otherwise. \
+               Byte-identical for a given seed at every $(b,-j).")
+
+let metrics_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the metrics snapshot of the run (counters, gauges, \
+               histograms) as JSON.")
+
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Figure-1 database breakdown")
     Term.(ret (const stats $ jobs_arg $ seed_arg))
@@ -491,7 +565,7 @@ let dot_cmd =
 let exploit_cmd_ =
   Cmd.v (Cmd.info "exploit" ~doc:"Run every canned exploit against every configuration")
     Term.(ret (const exploit_cmd $ jobs_arg $ resume_arg $ checkpoint_arg
-               $ stop_after_arg))
+               $ stop_after_arg $ trace_arg $ metrics_file_arg))
 
 let consistency_cmd =
   Cmd.v (Cmd.info "consistency" ~doc:"Cross-check model verdicts against simulations")
@@ -505,9 +579,15 @@ let lemma_cmd =
   Cmd.v (Cmd.info "lemma" ~doc:"Validate the foiling lemma in model and simulation")
     Term.(ret (const lemma $ const ()))
 
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
 let metrics_cmd =
-  Cmd.v (Cmd.info "metrics" ~doc:"Structural metrics of every model (Observations 1-3)")
-    Term.(ret (const metrics $ const ()))
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Structural metrics of every model (Observations 1-3), per-pFSM \
+             transition coverage, and the runtime metrics snapshot")
+    Term.(ret (const metrics $ jobs_arg $ json_flag))
 
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"ASLR ablation over the four memory exploits")
@@ -584,10 +664,7 @@ let faults_cmd =
     (Cmd.info "faults"
        ~doc:"Re-run the consistency matrix and lemma under every fault plan")
     Term.(ret (const faults $ jobs_arg $ smoke_arg $ resume_arg $ checkpoint_arg
-               $ stop_after_arg))
-
-let json_flag =
-  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+               $ stop_after_arg $ trace_arg $ metrics_file_arg))
 
 let chaos_cmd =
   Cmd.v
@@ -595,7 +672,8 @@ let chaos_cmd =
        ~doc:"Replay every fault plan against the supervised pipeline and check \
              the resilience contract: no lost items, bounded retries, \
              deterministic reports")
-    Term.(ret (const chaos $ jobs_arg $ seed_arg $ json_flag $ smoke_arg))
+    Term.(ret (const chaos $ jobs_arg $ seed_arg $ json_flag $ smoke_arg
+               $ trace_arg $ metrics_file_arg))
 
 let extract_cmd =
   Cmd.v
@@ -623,7 +701,8 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Abstract-interpretation linter with interpreter-validated findings")
     Term.(ret (const lint $ jobs_arg $ corpus_flag $ lint_file_arg $ json_flag
-               $ lint_arrays_arg $ resume_arg $ checkpoint_arg $ stop_after_arg))
+               $ lint_arrays_arg $ resume_arg $ checkpoint_arg $ stop_after_arg
+               $ trace_arg $ metrics_file_arg))
 
 let main =
   Cmd.group

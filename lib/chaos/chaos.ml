@@ -1,10 +1,14 @@
 module Supervisor = Resilience.Supervisor
 module Run_report = Resilience.Run_report
 
+type leg_error = { stage : string; detail : string }
+
+type leg_outcome = Ran of Run_report.t | Failed of leg_error
+
 type leg = {
   leg_name : string;
   expected_items : int;
-  report : Run_report.t;
+  outcome : leg_outcome;
 }
 
 type plan_run = {
@@ -38,7 +42,8 @@ let matrix_items () =
 
 let curated_csv = lazy (Vulndb.Csv.of_database (Vulndb.Seed_data.database ()))
 
-let run_one ~config plan =
+let run_one ~config ~csv plan =
+  Obs.Span.with_span ~cat:"chaos" ("plan:" ^ plan.Fault.Plan.name) @@ fun () ->
   let matrix_expected = List.length Exploit.Consistency.app_groups + 1 in
   let lint_expected = List.length Minic.Corpus.all in
   let ingest_expected =
@@ -51,26 +56,30 @@ let run_one ~config plan =
         in
         let _, lint = Staticcheck.Linter.supervised_sweep ~supervise:config () in
         let ingest =
-          match
-            Resilience.Ingest.csv ~label:"chaos-ingest" ~config
-              (Lazy.force curated_csv)
-          with
-          | Ok o -> o.Resilience.Ingest.report
+          match Resilience.Ingest.csv ~label:"chaos-ingest" ~config csv with
+          | Ok o -> Ran o.Resilience.Ingest.report
           | Error e ->
-              (* the document itself is clean; only rows are mangled *)
-              failwith ("chaos ingest: " ^ Vulndb.Csv.error_to_string e)
+              (* A document-level ingest failure (the text does not
+                 tokenise, the header is wrong) is a typed leg outcome,
+                 not a [failwith]: the report renders it, [violations]
+                 flags it, and the CLI maps it to exit 1 per the
+                 exit-code contract instead of crashing with 125. *)
+              Failed
+                { stage = "ingest"; detail = Vulndb.Csv.error_to_string e }
         in
         [ { leg_name = "matrix";
             expected_items = matrix_expected;
-            report = matrix.Supervisor.report };
-          { leg_name = "lint"; expected_items = lint_expected; report = lint };
+            outcome = Ran matrix.Supervisor.report };
+          { leg_name = "lint";
+            expected_items = lint_expected;
+            outcome = Ran lint };
           { leg_name = "ingest"; expected_items = ingest_expected;
-            report = ingest } ])
+            outcome = ingest } ])
   in
   { plan; events = List.length events; legs }
 
 let run ?(seed = default_seed) ?(plans = Fault.Catalog.all)
-    ?(config = Supervisor.default_config) () =
+    ?(config = Supervisor.default_config) ?csv () =
   (* Fresh memo per run: the report carries the counters, and [stable]
      byte-compares consecutive runs — a warm cache would skew the
      second run's numbers.  Plans fan out over the Par pool; each
@@ -79,15 +88,16 @@ let run ?(seed = default_seed) ?(plans = Fault.Catalog.all)
      stay deterministic because misses = distinct (model, scenario)
      digests regardless of which plan computes a shared key first. *)
   Pfsm.Analysis.memo_reset ();
+  let csv = match csv with Some s -> s | None -> Lazy.force curated_csv in
   let runs =
-    Par.map_list
+    Par.map_list ~label:"chaos.plans"
       (fun (plan : Fault.Plan.t) ->
          let retry =
            { config.Supervisor.retry with
              Resilience.Retry.seed =
                seed lxor Hashtbl.hash plan.Fault.Plan.name }
          in
-         run_one ~config:{ config with Supervisor.retry } plan)
+         run_one ~config:{ config with Supervisor.retry } ~csv plan)
       plans
   in
   { seed;
@@ -99,21 +109,25 @@ let leg_violations retry_max (pr : plan_run) (l : leg) =
   let where =
     Printf.sprintf "plan %s, %s leg" pr.plan.Fault.Plan.name l.leg_name
   in
-  let lost =
-    if Run_report.no_lost ~expected:l.expected_items l.report then []
-    else
-      [ Printf.sprintf "%s: LOST ITEMS (%d of %d accounted for)" where
-          (Run_report.total l.report) l.expected_items ]
-  in
-  let unbounded =
-    if Run_report.max_attempts l.report <= retry_max then []
-    else
-      [ Printf.sprintf "%s: UNBOUNDED RETRIES (%d attempts > policy max %d)"
-          where
-          (Run_report.max_attempts l.report)
-          retry_max ]
-  in
-  lost @ unbounded
+  match l.outcome with
+  | Failed { stage; detail } ->
+      [ Printf.sprintf "%s: LEG FAILED (%s: %s)" where stage detail ]
+  | Ran report ->
+      let lost =
+        if Run_report.no_lost ~expected:l.expected_items report then []
+        else
+          [ Printf.sprintf "%s: LOST ITEMS (%d of %d accounted for)" where
+              (Run_report.total report) l.expected_items ]
+      in
+      let unbounded =
+        if Run_report.max_attempts report <= retry_max then []
+        else
+          [ Printf.sprintf
+              "%s: UNBOUNDED RETRIES (%d attempts > policy max %d)" where
+              (Run_report.max_attempts report)
+              retry_max ]
+      in
+      lost @ unbounded
 
 let violations r =
   List.concat_map
@@ -124,7 +138,10 @@ let no_lost_items r =
   List.for_all
     (fun pr ->
        List.for_all
-         (fun l -> Run_report.no_lost ~expected:l.expected_items l.report)
+         (fun l ->
+           match l.outcome with
+           | Failed _ -> false  (* every item of a failed leg is lost *)
+           | Ran report -> Run_report.no_lost ~expected:l.expected_items report)
          pr.legs)
     r.runs
 
@@ -132,16 +149,27 @@ let bounded_retries r =
   List.for_all
     (fun pr ->
        List.for_all
-         (fun l -> Run_report.max_attempts l.report <= r.retry_max)
+         (fun l ->
+           match l.outcome with
+           | Failed _ -> true  (* nothing ran, nothing retried *)
+           | Ran report -> Run_report.max_attempts report <= r.retry_max)
          pr.legs)
     r.runs
 
 let ok r = violations r = []
 
 let leg_to_json l =
-  Printf.sprintf "{\"name\": \"%s\", \"expected\": %d, \"report\": %s}"
-    l.leg_name l.expected_items
-    (Run_report.to_json l.report)
+  match l.outcome with
+  | Ran report ->
+      Printf.sprintf "{\"name\": \"%s\", \"expected\": %d, \"report\": %s}"
+        l.leg_name l.expected_items (Run_report.to_json report)
+  | Failed { stage; detail } ->
+      Printf.sprintf
+        "{\"name\": \"%s\", \"expected\": %d, \"failed\": {\"stage\": \
+         \"%s\", \"detail\": \"%s\"}}"
+        l.leg_name l.expected_items
+        (Obs.Metrics.json_escape stage)
+        (Obs.Metrics.json_escape detail)
 
 let plan_run_to_json pr =
   Printf.sprintf
@@ -161,13 +189,17 @@ let stable ?seed ?plans () =
   to_json (run ?seed ?plans ()) = to_json (run ?seed ?plans ())
 
 let pp_leg ppf l =
-  Format.fprintf ppf
-    "%-8s %2d items: %2d completed (%d retried), %2d quarantined, waited %d"
-    l.leg_name (Run_report.total l.report)
-    (Run_report.completed l.report)
-    (Run_report.retried l.report)
-    (Run_report.quarantined l.report)
-    l.report.Run_report.waited
+  match l.outcome with
+  | Ran report ->
+      Format.fprintf ppf
+        "%-8s %2d items: %2d completed (%d retried), %2d quarantined, waited %d"
+        l.leg_name (Run_report.total report)
+        (Run_report.completed report)
+        (Run_report.retried report)
+        (Run_report.quarantined report)
+        report.Run_report.waited
+  | Failed { stage; detail } ->
+      Format.fprintf ppf "%-8s FAILED (%s: %s)" l.leg_name stage detail
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>chaos: seed %d, %d plan%s@," r.seed

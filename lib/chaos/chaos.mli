@@ -15,10 +15,18 @@
     {- {e determinism} — the same seed yields a byte-identical JSON
        report ({!stable}).}} *)
 
+type leg_error = { stage : string; detail : string }
+(** A leg that could not run at all — e.g. the ingest document itself
+    failed to parse.  Typed so the harness reports it as a contract
+    violation (CLI exit 1) instead of crashing with a raw backtrace
+    (exit 125). *)
+
+type leg_outcome = Ran of Resilience.Run_report.t | Failed of leg_error
+
 type leg = {
   leg_name : string;  (** ["matrix"], ["lint"] or ["ingest"] *)
   expected_items : int;  (** how many items the leg was given *)
-  report : Resilience.Run_report.t;
+  outcome : leg_outcome;
 }
 
 type plan_run = {
@@ -43,13 +51,17 @@ val run :
   ?seed:int ->
   ?plans:Fault.Plan.t list ->
   ?config:Resilience.Supervisor.config ->
+  ?csv:string ->
   unit ->
   report
 (** Defaults: {!default_seed}, {!Fault.Catalog.all},
     {!Resilience.Supervisor.default_config}.  The supervision retry
     seed is derived from [seed] and the plan name, so every plan owns
     its schedules and the whole report is a pure function of
-    [(seed, plans, config)]. *)
+    [(seed, plans, config)].  [csv] overrides the ingest leg's
+    document (default: the curated database rendered to CSV) — a
+    document that fails to parse yields a [Failed] ingest leg, never
+    an exception. *)
 
 val no_lost_items : report -> bool
 

@@ -23,7 +23,13 @@ let plan t = t.plan
 
 let events t = List.rev t.events
 
-let record t ~seam detail = t.events <- Event.make ~seam detail :: t.events
+let m_injected = Obs.Metrics.counter "fault.injected"
+
+let record t ~seam detail =
+  Obs.Metrics.incr m_injected;
+  Obs.Span.instant ~cat:"fault" ~args:[ ("seam", seam); ("detail", detail) ]
+    "fault.injected";
+  t.events <- Event.make ~seam detail :: t.events
 
 let chance t = function
   | None -> false

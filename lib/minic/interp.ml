@@ -54,24 +54,30 @@ let rec eval st (e : Ast.expr) : value =
   | Ast.Strlen e -> Vint (String.length (as_str (eval st e)))
 
 and eval_bin st op a b =
+  (* One exhaustive match, each constructor with its own arm: the
+     short-circuit ops never reach the strict-evaluation helpers, by
+     construction rather than by an [assert false] that adversarial
+     Progen ASTs could in principle reach. *)
+  let num f =
+    let x = as_int (eval st a) and y = as_int (eval st b) in
+    Vint (Pfsm.Strcodec.wrap32 (f x y))
+  in
+  let cmp f =
+    let x = as_int (eval st a) and y = as_int (eval st b) in
+    Vint (if f x y then 1 else 0)
+  in
   match op with
   | Ast.And -> Vint (if truthy (as_int (eval st a)) && truthy (as_int (eval st b)) then 1 else 0)
   | Ast.Or -> Vint (if truthy (as_int (eval st a)) || truthy (as_int (eval st b)) then 1 else 0)
-  | _ ->
-      let x = as_int (eval st a) and y = as_int (eval st b) in
-      let bool_ c = if c then 1 else 0 in
-      Vint
-        (match op with
-         | Ast.Add -> Pfsm.Strcodec.wrap32 (x + y)
-         | Ast.Sub -> Pfsm.Strcodec.wrap32 (x - y)
-         | Ast.Mul -> Pfsm.Strcodec.wrap32 (x * y)
-         | Ast.Lt -> bool_ (x < y)
-         | Ast.Le -> bool_ (x <= y)
-         | Ast.Gt -> bool_ (x > y)
-         | Ast.Ge -> bool_ (x >= y)
-         | Ast.Eq -> bool_ (x = y)
-         | Ast.Ne -> bool_ (x <> y)
-         | Ast.And | Ast.Or -> assert false)
+  | Ast.Add -> num ( + )
+  | Ast.Sub -> num ( - )
+  | Ast.Mul -> num ( * )
+  | Ast.Lt -> cmp ( < )
+  | Ast.Le -> cmp ( <= )
+  | Ast.Gt -> cmp ( > )
+  | Ast.Ge -> cmp ( >= )
+  | Ast.Eq -> cmp ( = )
+  | Ast.Ne -> cmp ( <> )
 
 let copy_into_buffer st buffer data =
   match Hashtbl.find_opt st.buffers buffer with

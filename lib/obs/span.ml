@@ -1,0 +1,13 @@
+(* Structured tracing on top of Trace: a span is a B/E pair that is
+   well-parenthesized within its (epoch, slot) by construction —
+   execution inside one slot is sequential, and the E is emitted by
+   [Fun.protect] even when the body raises. *)
+
+let with_span ?cat ?args name f =
+  if Trace.enabled () then begin
+    Trace.emit ~ph:B ?cat ?args name;
+    Fun.protect ~finally:(fun () -> Trace.emit ~ph:E ?cat name) f
+  end
+  else f ()
+
+let instant ?cat ?args name = Trace.emit ~ph:I ?cat ?args name

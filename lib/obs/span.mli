@@ -1,0 +1,13 @@
+(** Structured spans over {!Trace}.
+
+    [with_span name f] brackets [f] in a B/E event pair.  Within one
+    (epoch, slot) spans are well-parenthesized by construction: slot
+    execution is sequential and the closing event is emitted via
+    [Fun.protect] even when [f] raises.  Zero-cost (no emission, no
+    allocation) while tracing is off. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+val instant :
+  ?cat:string -> ?args:(string * string) list -> string -> unit

@@ -75,6 +75,41 @@ let jobs () =
       jobs_ref := Some n;
       n
 
+(* ---- typed pool errors -------------------------------------------- *)
+
+(* A result slot left empty after a completed job is a pool bug (the
+   item was never run, or its write was lost).  It surfaces as a typed
+   error carrying enough context to diagnose which worker claimed the
+   item — never as a bare [assert false]. *)
+exception Error of { batch : string; index : int; worker : int }
+
+let () =
+  Printexc.register_printer (function
+    | Error { batch; index; worker } ->
+        Some
+          (Printf.sprintf
+             "Par.Error: batch %S lost the result of item %d (claimed by %s)"
+             batch index
+             (if worker < 0 then "no worker" else "worker " ^ string_of_int worker))
+    | _ -> None)
+
+(* ---- trace hooks --------------------------------------------------- *)
+
+(* Observability side-channel (used by Obs.Trace): called around every
+   top-level map so a tracer can tag events with the item index that
+   produced them and merge per-domain buffers back into input order.
+   Hooks must be pure bookkeeping — they run on the hot path and must
+   never raise. *)
+type trace_hooks = {
+  on_map_start : total:int -> unit;  (* submitting domain, before any item *)
+  on_item : int -> unit;             (* running domain, before item [i] *)
+  on_map_end : unit -> unit;         (* submitting domain, after reduction *)
+}
+
+let trace_hooks : trace_hooks option ref = ref None
+
+let set_trace_hooks h = trace_hooks := Some h
+
 (* ---- the domain pool ---------------------------------------------- *)
 
 type job = {
@@ -83,6 +118,7 @@ type job = {
   chunk : int;
   next : int Atomic.t;
   completed : int Atomic.t;
+  claimed : int array;        (* worker id that grabbed each index; -1 = nobody *)
 }
 
 type pool = {
@@ -111,15 +147,21 @@ let leave prev = Domain.DLS.get in_task := prev
 
 let inside_task () = !(Domain.DLS.get in_task)
 
+(* Worker identity, for diagnostics: pool workers are 1..size, the
+   submitting domain is 0. *)
+let worker_id : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
 let execute pool job =
   let prev = entered () in
   Fun.protect ~finally:(fun () -> leave prev) @@ fun () ->
+  let me = !(Domain.DLS.get worker_id) in
   let n = job.total in
   let rec grab () =
     let start = Atomic.fetch_and_add job.next job.chunk in
     if start < n then begin
       let stop = min n (start + job.chunk) in
       for i = start to stop - 1 do
+        job.claimed.(i) <- me;
         job.run i
       done;
       let finished =
@@ -166,7 +208,10 @@ let spawn_pool ~size =
       workers = [] }
   in
   pool.workers <-
-    List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+    List.init size (fun k ->
+        Domain.spawn (fun () ->
+            Domain.DLS.get worker_id := k + 1;
+            worker_loop pool 0));
   pool
 
 let the_pool : pool option ref = ref None
@@ -193,13 +238,13 @@ let set_jobs n =
 let configure ?jobs:cli () =
   match cli with
   | Some n when n < 1 ->
-      Error (Printf.sprintf "-j: invalid job count %d (must be >= 1)" n)
+      Stdlib.Error (Printf.sprintf "-j: invalid job count %d (must be >= 1)" n)
   | Some n ->
       set_jobs n;
       Ok (jobs ())
   | None -> (
       match jobs_from_env () with
-      | Error e -> Error e
+      | Stdlib.Error e -> Stdlib.Error e
       | Ok (Some n) ->
           set_jobs n;
           Ok (jobs ())
@@ -255,43 +300,83 @@ let submit pool job =
   done;
   Mutex.unlock pool.lock
 
-let map f xs =
+(* Test seam: when set to [Some i], the next parallel map blanks result
+   slot [i] before reduction, forcing the missing-result path that a
+   real pool bug would take.  Consumed (reset to [None]) on use. *)
+module For_testing = struct
+  let drop_result : int option ref = ref None
+end
+
+let map ?(label = "par.map") f xs =
   let n = Array.length xs in
   let j = jobs () in
   if n = 0 then [||]
-  else if j <= 1 || n <= 1 || must_serialize () then Array.map f xs
   else begin
-    let results = Array.make n None in
-    let errors = Array.make n None in
-    let run i =
-      match f xs.(i) with
-      | v -> results.(i) <- Some v
-      | exception e -> errors.(i) <- Some e
-    in
-    let job =
-      { run;
-        total = n;
-        chunk = max 1 (n / (j * 8));
-        next = Atomic.make 0;
-        completed = Atomic.make 0 }
-    in
-    submit (pool_for ~jobs:j) job;
-    (* deterministic error propagation: the lowest failing index wins,
-       independent of which domain hit it first *)
-    Array.iteri
-      (fun _ o -> match o with Some e -> raise e | None -> ())
-      errors;
-    Array.map
-      (function Some v -> v | None -> assert false)
-      results
+    (* Trace hooks fire for top-level maps only, and identically on the
+       sequential and pooled paths — the emitted positions (and hence a
+       trace merged from them) cannot depend on the job count. *)
+    let top = not (inside_task ()) in
+    let hooks = if top then !trace_hooks else None in
+    (match hooks with Some h -> h.on_map_start ~total:n | None -> ());
+    Fun.protect
+      ~finally:(fun () -> match hooks with Some h -> h.on_map_end () | None -> ())
+    @@ fun () ->
+      if j <= 1 || n <= 1 || must_serialize () then begin
+        (* Sequential run of a (possibly top-level) map: mark the items
+           as in-task, exactly like [execute] does, so nested maps
+           behave — and fire hooks — the same at every job count. *)
+        let prev = entered () in
+        Fun.protect ~finally:(fun () -> leave prev) @@ fun () ->
+        Array.mapi
+          (fun i x ->
+            (match hooks with Some h -> h.on_item i | None -> ());
+            f x)
+          xs
+      end
+      else begin
+        let results = Array.make n None in
+        let errors = Array.make n None in
+        let run i =
+          (match hooks with Some h -> h.on_item i | None -> ());
+          match f xs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+        in
+        let job =
+          { run;
+            total = n;
+            chunk = max 1 (n / (j * 8));
+            next = Atomic.make 0;
+            completed = Atomic.make 0;
+            claimed = Array.make n (-1) }
+        in
+        submit (pool_for ~jobs:j) job;
+        (match !For_testing.drop_result with
+         | Some i when i < n ->
+             For_testing.drop_result := None;
+             results.(i) <- None
+         | _ -> ());
+        (* deterministic error propagation: the lowest failing index wins,
+           independent of which domain hit it first *)
+        Array.iteri
+          (fun _ o -> match o with Some e -> raise e | None -> ())
+          errors;
+        Array.mapi
+          (fun i o ->
+            match o with
+            | Some v -> v
+            | None ->
+                raise (Error { batch = label; index = i; worker = job.claimed.(i) }))
+          results
+      end
   end
 
-let filter_map f xs =
-  let opts = map f xs in
+let filter_map ?label f xs =
+  let opts = map ?label f xs in
   let kept = Array.to_list opts |> List.filter_map Fun.id in
   Array.of_list kept
 
-let map_list f xs = Array.to_list (map f (Array.of_list xs))
+let map_list ?label f xs = Array.to_list (map ?label f (Array.of_list xs))
 
-let filter_map_list f xs =
-  Array.to_list (map f (Array.of_list xs)) |> List.filter_map Fun.id
+let filter_map_list ?label f xs =
+  Array.to_list (map ?label f (Array.of_list xs)) |> List.filter_map Fun.id

@@ -56,19 +56,46 @@ val add_serial_guard : (unit -> bool) -> unit
     Used by [Fault.Hooks] so an active injector keeps its
     deterministic event stream. *)
 
-val map : ('a -> 'b) -> 'a array -> 'b array
+exception Error of { batch : string; index : int; worker : int }
+(** A pool invariant broke: after a completed job, the result slot of
+    [index] in the batch labelled [batch] was empty (the item never
+    ran, or its write was lost).  [worker] is the pool worker that
+    claimed the item (0 = the submitting domain, [-1] = nobody).
+    Diagnosable, unlike the [assert false] it replaces. *)
+
+type trace_hooks = {
+  on_map_start : total:int -> unit;  (** submitting domain, before any item *)
+  on_item : int -> unit;  (** running domain, just before item [i] *)
+  on_map_end : unit -> unit;  (** submitting domain, after reduction *)
+}
+(** Observability side-channel (registered by [Obs.Trace]): fires
+    around every {e top-level} map — nested maps are silent — and
+    identically on the sequential and pooled paths, so positions
+    derived from the hooks never depend on the job count.  Hooks must
+    be cheap bookkeeping and must never raise. *)
+
+val set_trace_hooks : trace_hooks -> unit
+
+val map : ?label:string -> ('a -> 'b) -> 'a array -> 'b array
 (** Ordered parallel map: [map f xs] equals [Array.map f xs] for pure
     [f], chunked over the domain pool.  If any item raises, the
     exception of the lowest failing index is re-raised after all items
     settle.  Nested maps (from inside an item function) run
-    sequentially. *)
+    sequentially.  [label] names the batch in a potential {!Error}.
+    @raise Error on a lost result slot (a pool bug). *)
 
-val filter_map : ('a -> 'b option) -> 'a array -> 'b array
+val filter_map : ?label:string -> ('a -> 'b option) -> 'a array -> 'b array
 
-val map_list : ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?label:string -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] over lists, preserving order. *)
 
-val filter_map_list : ('a -> 'b option) -> 'a list -> 'b list
+val filter_map_list : ?label:string -> ('a -> 'b option) -> 'a list -> 'b list
+
+(** Test seam (unit tests only): force the missing-result path of the
+    next pooled map. *)
+module For_testing : sig
+  val drop_result : int option ref
+end
 
 val teardown : unit -> unit
 (** Join all pool domains.  Safe to call when no pool exists; a later

@@ -43,28 +43,76 @@ let memo_lookups = ref 0
 let memo_hits = ref 0
 let memo_misses = ref 0
 
-(* identity-keyed digest cache; a duplicate insert under a race is
-   harmless (both compute the same digest) *)
-let model_digests : (Model.t * string) list ref = ref []
+let m_lookups = Obs.Metrics.counter "pfsm.memo.lookups"
+let m_hits = Obs.Metrics.counter "pfsm.memo.hits"
+let m_misses = Obs.Metrics.counter "pfsm.memo.misses"
+
+(* Identity-keyed model-digest cache, bounded.
+
+   The old shape — an unbounded assoc list — retained every model ever
+   digested for the life of the process (a GC leak across chaos/bench
+   sweeps, which build fresh models per leg) and scanned O(n) under
+   [memo_lock].  This is a fixed-capacity FIFO ring: an eviction only
+   costs a recompute of that model's digest, never a wrong answer, so
+   correctness and determinism are unaffected by the bound. *)
+
+let digest_cache_capacity = 64
+
+type digest_slot = { d_model : Model.t; d_digest : string }
+
+let digest_ring : digest_slot option array =
+  Array.make digest_cache_capacity None
+
+let digest_next = ref 0 (* next insertion slot, under [memo_lock] *)
+let digest_evictions = ref 0
+
+type digest_cache_stats = { entries : int; capacity : int; evictions : int }
+
+let digest_cache_stats () =
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      let entries =
+        Array.fold_left
+          (fun acc s -> match s with Some _ -> acc + 1 | None -> acc)
+          0 digest_ring
+      in
+      { entries; capacity = digest_cache_capacity; evictions = !digest_evictions })
+
+let digest_find_locked model =
+  let found = ref None in
+  Array.iter
+    (fun s ->
+      match s with
+      | Some { d_model; d_digest } when d_model == model ->
+          found := Some d_digest
+      | _ -> ())
+    digest_ring;
+  !found
 
 let model_digest model =
   let cached =
     Mutex.lock memo_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock memo_lock)
-      (fun () ->
-        List.find_opt (fun (m, _) -> m == model) !model_digests)
+      (fun () -> digest_find_locked model)
   in
   match cached with
-  | Some (_, d) -> d
+  | Some d -> d
   | None ->
       let d = Digest.string (Marshal.to_string model [ Marshal.Closures ]) in
       Mutex.lock memo_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock memo_lock)
         (fun () ->
-          if not (List.exists (fun (m, _) -> m == model) !model_digests) then
-            model_digests := (model, d) :: !model_digests);
+          (* a duplicate insert under a race is harmless (same digest) *)
+          if digest_find_locked model = None then begin
+            let i = !digest_next in
+            if digest_ring.(i) <> None then incr digest_evictions;
+            digest_ring.(i) <- Some { d_model = model; d_digest = d };
+            digest_next := (i + 1) mod digest_cache_capacity
+          end);
       d
 
 let memo_key model env =
@@ -92,10 +140,12 @@ let run_memo model ~env =
   let key = memo_key model env in
   Mutex.lock memo_lock;
   incr memo_lookups;
+  Obs.Metrics.incr m_lookups;
   let rec acquire () =
     match Hashtbl.find_opt memo_table key with
     | Some (Done trace) ->
         incr memo_hits;
+        Obs.Metrics.incr m_hits;
         Mutex.unlock memo_lock;
         trace
     | Some Computing ->
@@ -103,6 +153,7 @@ let run_memo model ~env =
         acquire ()
     | None -> (
         incr memo_misses;
+        Obs.Metrics.incr m_misses;
         Hashtbl.replace memo_table key Computing;
         Mutex.unlock memo_lock;
         match Model.run model ~env with
@@ -122,6 +173,10 @@ let run_memo model ~env =
   acquire ()
 
 let analyze ?(par = false) ?(memo = false) model ~scenarios =
+  Obs.Span.with_span ~cat:"pfsm"
+    ~args:[ ("scenarios", string_of_int (List.length scenarios)) ]
+    "pfsm.analyze"
+  @@ fun () ->
   let run env =
     if memo then run_memo model ~env else Model.run model ~env
   in

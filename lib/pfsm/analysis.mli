@@ -44,6 +44,14 @@ type memo_stats = { lookups : int; hits : int; misses : int }
 
 val memo_stats : unit -> memo_stats
 
+type digest_cache_stats = { entries : int; capacity : int; evictions : int }
+
+val digest_cache_stats : unit -> digest_cache_stats
+(** The identity-keyed model-digest cache is a fixed-capacity FIFO
+    ring ([entries <= capacity] always — the unbounded assoc list it
+    replaces retained every model forever).  An eviction only costs a
+    digest recompute, never a wrong answer. *)
+
 val memo_reset : unit -> unit
 (** Drop all entries and zero the counters — run this at the start of
     a harness whose output includes the counters, so consecutive runs

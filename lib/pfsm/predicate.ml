@@ -128,13 +128,18 @@ let hc_terms : (term, term) Hashtbl.t = Hashtbl.create 256
 let hc_preds : (t, t) Hashtbl.t = Hashtbl.create 256
 let hc_hits = ref 0
 
+let m_distinct = Obs.Metrics.counter "pfsm.hashcons.distinct"
+let m_hc_hits = Obs.Metrics.counter "pfsm.hashcons.hits"
+
 let canon table key =
   match Hashtbl.find_opt table key with
   | Some v ->
       incr hc_hits;
+      Obs.Metrics.incr m_hc_hits;
       v
   | None ->
       Hashtbl.add table key key;
+      Obs.Metrics.incr m_distinct;
       key
 
 let rec intern_term_unlocked t =

@@ -40,13 +40,29 @@ let trips t = List.rev t.rev_trips
 
 let transitions t = List.rev t.rev_transitions
 
+let m_transitions = Obs.Metrics.counter "resilience.breaker.transitions"
+let m_trips = Obs.Metrics.counter "resilience.breaker.trips"
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
 let goto t s =
   if t.state <> s then begin
     t.rev_transitions <- (t.state, s) :: t.rev_transitions;
+    Obs.Metrics.incr m_transitions;
+    Obs.Span.instant ~cat:"resilience"
+      ~args:
+        [ ("resource", t.resource);
+          ("from", state_to_string t.state);
+          ("to", state_to_string s) ]
+      "breaker";
     t.state <- s
   end
 
 let trip t ~now ~cause =
+  Obs.Metrics.incr m_trips;
   t.rev_trips <-
     { resource = t.resource;
       at = now;
@@ -80,11 +96,6 @@ let failure t ~now ~cause =
   | Closed ->
       if t.consecutive >= t.config.failure_threshold then trip t ~now ~cause
   | Open -> ()
-
-let state_to_string = function
-  | Closed -> "closed"
-  | Open -> "open"
-  | Half_open -> "half-open"
 
 let pp ppf t =
   Format.fprintf ppf "%s: %s (%d consecutive failure%s, %d trip%s)" t.resource

@@ -31,7 +31,13 @@ type 'a t = { mutable rev_entries : 'a entry list }
 
 let create () = { rev_entries = [] }
 
+let m_isolated = Obs.Metrics.counter "resilience.quarantine.isolated"
+
 let isolate t ~id ~item ~attempts cause =
+  Obs.Metrics.incr m_isolated;
+  Obs.Span.instant ~cat:"resilience"
+    ~args:[ ("id", id); ("attempts", string_of_int attempts) ]
+    "quarantine";
   t.rev_entries <- { id; item; attempts; cause } :: t.rev_entries
 
 let entries t = List.rev t.rev_entries

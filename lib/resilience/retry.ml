@@ -25,6 +25,8 @@ let delays policy =
        if jitter <= 0 then capped
        else capped - jitter + Vulndb.Prng.below prng ((2 * jitter) + 1))
 
+let m_attempts = Obs.Metrics.counter "resilience.retry.attempts"
+
 let run ?(on_backoff = fun ~attempt:_ ~delay:_ -> ()) policy work =
   let schedule = Array.of_list (delays policy) in
   let rec attempt k =
@@ -32,6 +34,7 @@ let run ?(on_backoff = fun ~attempt:_ ~delay:_ -> ()) policy work =
     | v -> Ok (v, k)
     | exception Fault.Condition.Simulated c ->
         if k < policy.max_attempts then begin
+          Obs.Metrics.incr m_attempts;
           on_backoff ~attempt:k ~delay:schedule.(k - 1);
           attempt (k + 1)
         end

@@ -4,6 +4,8 @@ type config = {
   deadline : int option;
 }
 
+let m_retry_attempts = Obs.Metrics.counter "resilience.retry.attempts"
+
 let default_config =
   { retry = Retry.default; breaker = Breaker.default_config; deadline = None }
 
@@ -24,6 +26,10 @@ let item_policy (config : config) id =
 
 let run ?(label = "supervised") ?(config = default_config) ?checkpoint
     ?stop_after ?(parallel = false) items =
+  Obs.Span.with_span ~cat:"resilience"
+    ~args:[ ("label", label); ("items", string_of_int (List.length items)) ]
+    ("supervise:" ^ label)
+  @@ fun () ->
   (* Parallelism by speculation: first invocations of the fresh items
      run on the Par pool up front, then the supervision loop replays
      sequentially, consuming each speculative result at the item's
@@ -36,13 +42,12 @@ let run ?(label = "supervised") ?(config = default_config) ?checkpoint
      fakes) still report identically.  Requires only that distinct
      items do not share mutable state.  Speculation is skipped under
      [stop_after] (items past the kill must never execute) and under
-     an active fault injector (its PRNG stream is order-sensitive). *)
+     an active fault injector (its PRNG stream is order-sensitive).
+     It is NOT skipped at [-j 1]: the Par map then runs sequentially
+     with identical outcomes, which keeps the item spans of a traced
+     run at the same (epoch, slot) coordinates for every job count. *)
   let speculated : (string, _ result) Hashtbl.t = Hashtbl.create 16 in
-  if
-    parallel && stop_after = None
-    && Fault.Hooks.current () = None
-    && Par.jobs () > 1
-  then begin
+  if parallel && stop_after = None && Fault.Hooks.current () = None then begin
     let fresh =
       List.filter
         (fun it ->
@@ -51,9 +56,15 @@ let run ?(label = "supervised") ?(config = default_config) ?checkpoint
           | None -> true)
         items
     in
-    Par.map_list
+    Par.map_list ~label:(label ^ ".speculate")
       (fun it ->
-        let r = match it.work () with v -> Ok v | exception e -> Error e in
+        let r =
+          Obs.Span.with_span ~cat:"resilience"
+            ~args:[ ("id", it.id); ("resource", it.resource) ]
+            ("item:" ^ it.id)
+            (fun () ->
+              match it.work () with v -> Ok v | exception e -> Error e)
+        in
         (it.id, r))
       fresh
     |> List.iter (fun (id, r) -> Hashtbl.replace speculated id r)
@@ -63,7 +74,10 @@ let run ?(label = "supervised") ?(config = default_config) ?checkpoint
     | Some r -> (
         Hashtbl.remove speculated it.id;
         match r with Ok v -> v | Error e -> raise e)
-    | None -> it.work ()
+    | None ->
+        Obs.Span.with_span ~cat:"resilience"
+          ~args:[ ("id", it.id); ("resource", it.resource) ]
+          ("item:" ^ it.id) it.work
   in
   let quarantined = Quarantine.create () in
   let breakers = Hashtbl.create 7 in
@@ -119,6 +133,15 @@ let run ?(label = "supervised") ?(config = default_config) ?checkpoint
                      let d = schedule.(k - 1) in
                      now := !now + d;
                      waited := !waited + d;
+                     Obs.Metrics.incr m_retry_attempts;
+                     Obs.Span.instant ~cat:"resilience"
+                       ~args:
+                         [ ("id", it.id);
+                           ("delay", string_of_int d);
+                           ("vt", string_of_int !now);
+                           ("fuel_used", string_of_int (Deadline.used deadline))
+                         ]
+                       "backoff";
                      Deadline.spend deadline d
                    in
                    let out_of_fuel ~attempts =

@@ -10,12 +10,20 @@ type report = {
   widenings : int;
 }
 
+let m_functions = Obs.Metrics.counter "staticcheck.functions"
+let m_findings = Obs.Metrics.counter "staticcheck.findings"
+
 let lint ?(config = Absint.default_config) (f : A.func) =
+  Obs.Span.with_span ~cat:"staticcheck" ~args:[ ("func", f.A.name) ]
+    ("lint:" ^ f.A.name)
+  @@ fun () ->
+  Obs.Metrics.incr m_functions;
   let result = Absint.analyze ~config f in
   let cfg = result.Absint.cfg in
   let findings =
     List.map (Validate.finding ~config ~cfg f) result.Absint.raws
   in
+  Obs.Metrics.add m_findings (List.length findings);
   { func = f;
     findings;
     nodes = Cfg.node_count cfg;
@@ -94,7 +102,7 @@ let corpus_config =
    an active fault plan the serial guard drops to sequential, keeping
    the injector's event stream intact. *)
 let corpus_sweep () =
-  Par.map_list
+  Par.map_list ~label:"lint.corpus"
     (fun (label, f) ->
        let expected =
          match List.assoc_opt label expectations with

@@ -45,6 +45,22 @@ let test_interp_comparisons_and_bools () =
   Alcotest.(check int) "or" 1 (run_expr A.(Bin (Or, Int_lit 0, Int_lit 5)));
   Alcotest.(check int) "not" 1 (run_expr A.(Not (Int_lit 0)))
 
+let test_interp_short_circuit () =
+  (* the right operand is a type error if evaluated; the dedicated
+     And/Or arms must skip it when the left side decides *)
+  let bad = A.Strlen (A.Int_lit 1) in
+  Alcotest.(check int) "0 && bad short-circuits" 0
+    (run_expr A.(Bin (And, Int_lit 0, bad)));
+  Alcotest.(check int) "7 || bad short-circuits" 1
+    (run_expr A.(Bin (Or, Int_lit 7, bad)));
+  let strict =
+    { A.name = "t"; params = [];
+      body = [ A.Return (A.Bin (A.And, A.Int_lit 1, bad)) ] }
+  in
+  match I.run strict ~args:[] with
+  | I.Rejected _ -> ()
+  | o -> Alcotest.fail (Format.asprintf "%a" I.pp_outcome o)
+
 let test_interp_atoi_strlen () =
   let f =
     { A.name = "t"; params = [ A.Str_param "s" ];
@@ -511,6 +527,7 @@ let () =
       ("interpreter",
        [ Alcotest.test_case "arithmetic" `Quick test_interp_arithmetic;
          Alcotest.test_case "comparisons/bools" `Quick test_interp_comparisons_and_bools;
+         Alcotest.test_case "short-circuit && / ||" `Quick test_interp_short_circuit;
          Alcotest.test_case "atoi/strlen" `Quick test_interp_atoi_strlen;
          Alcotest.test_case "if/else" `Quick test_interp_if_else_assign;
          Alcotest.test_case "while" `Quick test_interp_while_loop;

@@ -69,6 +69,24 @@ let test_nested_map () =
     (Array.init 16 (fun i -> 28 * i))
     out
 
+let test_lost_result_slot () =
+  (* the missing-result path must raise the typed Par.Error naming the
+     batch, the index and the claiming worker — not [assert false] *)
+  with_jobs 4 (fun () ->
+      Par.For_testing.drop_result := Some 5;
+      Fun.protect ~finally:(fun () -> Par.For_testing.drop_result := None)
+        (fun () ->
+           match Par.map ~label:"drop-test" (fun i -> i * 2) (Array.init 16 Fun.id) with
+           | _ -> Alcotest.fail "missing slot not detected"
+           | exception Par.Error { batch; index; worker } ->
+               Alcotest.(check string) "batch label" "drop-test" batch;
+               Alcotest.(check int) "dropped index" 5 index;
+               Alcotest.(check bool) "claiming worker recorded" true (worker >= 0)));
+  (* and the seam is consumed: the next map is healthy *)
+  Alcotest.(check (array int)) "subsequent map intact"
+    (Array.init 8 (fun i -> i + 1))
+    (with_jobs 4 (fun () -> Par.map (fun i -> i + 1) (Array.init 8 Fun.id)))
+
 (* ---- seed splitting ----------------------------------------------- *)
 
 let prop_seed_child =
@@ -237,6 +255,8 @@ let () =
     [ ("pool",
        [ Alcotest.test_case "exception: lowest index wins" `Quick test_map_exception;
          Alcotest.test_case "nested maps run sequentially" `Quick test_nested_map;
+         Alcotest.test_case "lost result slot raises typed Par.Error" `Quick
+           test_lost_result_slot;
          QCheck_alcotest.to_alcotest prop_map_equals_array_map;
          QCheck_alcotest.to_alcotest prop_filter_map ]);
       ("seed",
