@@ -737,6 +737,91 @@ let obs_bench () =
     (List.length snap) (snap_t *. 1000.);
   record ~section:"OBS" "snapshot-ms" (snap_t *. 1000.)
 
+(* ================= SERVE: request loop throughput ================= *)
+
+(* The serve loop end to end: a canned request script through
+   [Server.run_script] at -j 1/2/4.  Requests/sec comes from wall
+   time; p50/p99 per-request latency is over *virtual* time
+   (completion tick minus admission tick), so the latency numbers are
+   a pure function of the script and must agree at every job count —
+   as must the whole response stream, byte for byte. *)
+let serve_bench () =
+  section "SERVE -- supervised request loop (req/s, latency over virtual time)";
+  let module S = Serve.Server in
+  let n_work = if !smoke then 40 else 200 in
+  let reps = if !smoke then 3 else 10 in
+  (* a mixed script: lint / analyze / exploit across the app registry,
+     flushed in queue-sized waves so nothing is shed *)
+  let corpus = [| "tTflag (vulnerable)"; "Log (fixed)"; "Log (vulnerable)" |] in
+  let apps = [| "sendmail"; "nullhttpd"; "rwall" |] in
+  let req i =
+    match i mod 4 with
+    | 0 ->
+        Printf.sprintf "{\"id\": \"w%d\", \"kind\": \"lint\", \"target\": %s}" i
+          (Serve.Json.to_string
+             (Serve.Json.Str corpus.(i / 4 mod Array.length corpus)))
+    | 1 ->
+        Printf.sprintf "{\"id\": \"w%d\", \"kind\": \"analyze\", \"app\": \"%s\"}"
+          i apps.(i / 4 mod Array.length apps)
+    | 2 ->
+        Printf.sprintf "{\"id\": \"w%d\", \"kind\": \"exploit\", \"app\": \"%s\"}"
+          i apps.(i / 4 mod Array.length apps)
+    | _ -> Printf.sprintf "{\"id\": \"w%d\", \"kind\": \"lint\", \"target\": \"corpus\"}" i
+  in
+  let config = { S.default_config with S.capacity = 8 } in
+  let script =
+    List.concat_map
+      (fun wave ->
+        List.init 8 (fun k -> req ((wave * 8) + k)) @ [ "{\"kind\": \"flush\"}" ])
+      (List.init (n_work / 8) Fun.id)
+    @ [ "{\"kind\": \"shutdown\"}" ]
+  in
+  ignore (S.run_script ~config script);  (* warm-up outside the timed region *)
+  let job_counts = [ 1; 2; 4 ] in
+  let results =
+    List.map
+      (fun j ->
+        Par.set_jobs j;
+        let r, t =
+          wall (fun () ->
+              let r = ref (S.run_script ~config script) in
+              for _ = 2 to reps do r := S.run_script ~config script done;
+              !r)
+        in
+        (j, r, t /. float_of_int reps))
+      job_counts
+  in
+  let _, (base_lines, base_summary), base_t = List.hd results in
+  let identical =
+    List.for_all
+      (fun (_, (lines, s), _) ->
+        lines = base_lines && S.summary_to_json s = S.summary_to_json base_summary)
+      results
+  in
+  Format.printf "%d work requests per run, %d runs per job count:@." n_work reps;
+  List.iter
+    (fun (j, (_, s), t) ->
+      let rps = float_of_int s.S.admitted /. t in
+      Format.printf "  -j %d %8.1f ms/run  %8.0f req/s  (x%.2f)@." j
+        (t *. 1000.) rps (base_t /. t);
+      record ~section:"SERVE" (Printf.sprintf "req-per-sec-j%d" j) rps;
+      record ~section:"SERVE" (Printf.sprintf "run-ms-j%d" j) (t *. 1000.);
+      record ~section:"SERVE" (Printf.sprintf "speedup-j%d" j) (base_t /. t))
+    results;
+  let lat = base_summary.S.latencies in
+  let p50 = S.percentile 50 lat and p99 = S.percentile 99 lat in
+  Format.printf
+    "latency over virtual time: p50 %d ticks, p99 %d ticks (%d completed)@."
+    p50 p99 (List.length lat);
+  Format.printf "response streams byte-identical across -j 1/2/4: %b@." identical;
+  record ~section:"SERVE" "latency-p50-vt" (float_of_int p50);
+  record ~section:"SERVE" "latency-p99-vt" (float_of_int p99);
+  record ~section:"SERVE" "admitted" (float_of_int base_summary.S.admitted);
+  record ~section:"SERVE" "shed" (float_of_int base_summary.S.shed);
+  record ~section:"SERVE" "identical" (if identical then 1. else 0.);
+  if not identical then
+    Format.printf "  *** SERVE DETERMINISM VIOLATION ***@."
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -1012,7 +1097,8 @@ let () =
     lint_sweep ();
     resilience ();
     par_bench ();
-    obs_bench ()
+    obs_bench ();
+    serve_bench ()
   end
   else begin
     fig1 ();
@@ -1040,6 +1126,7 @@ let () =
     resilience ();
     par_bench ();
     obs_bench ();
+    serve_bench ();
     run_benchmarks ()
   end;
   (match !json_out with Some path -> write_json path | None -> ());

@@ -11,43 +11,15 @@
          arguments (usage is printed to stderr)
      125 unexpected internal error *)
 
-let apps = [ "sendmail"; "nullhttpd"; "xterm"; "rwall"; "iis"; "ghttpd"; "rpcstatd" ]
+(* The application registry lives in Serve.Handlers — one source of
+   truth for the CLI's positional APP argument and the server's
+   analyze/exploit requests.  Unknown names cannot reach these through
+   the CLI (APP is a cmdliner enum). *)
+let apps = Serve.Handlers.apps
 
-let model_of = function
-  | "sendmail" -> Apps.Sendmail.model (Apps.Sendmail.setup ())
-  | "nullhttpd" -> Apps.Nullhttpd.model (Apps.Nullhttpd.setup ())
-  | "xterm" -> Apps.Xterm.model ()
-  | "rwall" -> Apps.Rwall.model (Apps.Rwall.setup ())
-  | "iis" -> Apps.Iis.model (Apps.Iis.setup ())
-  | "ghttpd" -> Apps.Ghttpd.model (Apps.Ghttpd.setup ())
-  | "rpcstatd" -> Apps.Rpc_statd.model (Apps.Rpc_statd.setup ())
-  | other -> invalid_arg ("unknown application: " ^ other)
+let model_of = Serve.Handlers.model_of
 
-let scenarios_of = function
-  | "sendmail" ->
-      let app = Apps.Sendmail.setup () in
-      [ Apps.Sendmail.exploit_scenario app; Apps.Sendmail.benign_scenario ]
-  | "nullhttpd" ->
-      let app = Apps.Nullhttpd.setup () in
-      let cl5774, body5774 = Exploit.Attack.nullhttpd_5774 app in
-      let cl6255, body6255 = Exploit.Attack.nullhttpd_6255 app in
-      [ Apps.Nullhttpd.scenario ~content_len:cl5774 ~body:body5774;
-        Apps.Nullhttpd.scenario ~content_len:cl6255 ~body:body6255;
-        Apps.Nullhttpd.benign_scenario ]
-  | "xterm" -> [ Apps.Xterm.race_scenario; Apps.Xterm.benign_scenario ]
-  | "rwall" -> [ Apps.Rwall.attack_scenario; Apps.Rwall.benign_scenario ]
-  | "iis" ->
-      [ Apps.Iis.scenario ~path:Exploit.Attack.iis_path;
-        Apps.Iis.scenario ~path:Apps.Iis.benign_path ]
-  | "ghttpd" ->
-      let app = Apps.Ghttpd.setup () in
-      [ Apps.Ghttpd.scenario ~request:(Exploit.Attack.ghttpd_request app);
-        Apps.Ghttpd.benign_scenario ]
-  | "rpcstatd" ->
-      let app = Apps.Rpc_statd.setup () in
-      [ Apps.Rpc_statd.scenario ~filename:(Exploit.Attack.rpc_statd_filename app);
-        Apps.Rpc_statd.benign_scenario ]
-  | other -> invalid_arg ("unknown application: " ^ other)
+let scenarios_of = Serve.Handlers.scenarios_of
 
 (* A failed analysis gate: say why on stderr, exit 1. *)
 let gate ~ok msg =
@@ -66,7 +38,19 @@ let gate ~ok msg =
 let checkpoint_of ~default resume path =
   match resume, path with
   | false, None -> None
-  | _, path -> Some (Resilience.Checkpoint.load (Option.value path ~default))
+  | _, path ->
+      let cp = Resilience.Checkpoint.load (Option.value path ~default) in
+      (match Resilience.Checkpoint.skipped_lines cp with
+       | [] -> ()
+       | lines ->
+           (* a torn final line after a crash, or corruption: the
+              affected items simply re-run; say so instead of hiding it *)
+           Printf.eprintf
+             "warning: checkpoint journal: %d unparseable line(s) skipped \
+              (line %s); affected items will re-run\n%!"
+             (List.length lines)
+             (String.concat ", " (List.map string_of_int lines)));
+      Some cp
 
 let sweep_finished cp report ~expected =
   match cp with
@@ -485,19 +469,84 @@ let faults jobs smoke resume checkpoint stop_after trace metrics =
     ~ok:(benign && stable && supervised_ok)
     "fault matrix: benign-plan agreement or seed determinism violated"
 
-let chaos jobs seed json smoke trace metrics =
+let chaos jobs seed json smoke soak trace metrics =
   with_jobs jobs @@ fun () ->
   with_obs ?trace ?metrics @@ fun () ->
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
-  let report = Chaos.run ~seed ~plans () in
-  if json then print_endline (Chaos.to_json report)
-  else Format.printf "%a@." Chaos.pp report;
-  match Chaos.violations report with
-  | [] -> `Ok 0
-  | vs ->
-      List.iter (Printf.eprintf "chaos: %s\n") vs;
-      Printf.eprintf "chaos: supervision contract violated\n%!";
-      `Ok 1
+  if soak then begin
+    let report = Chaos.soak ~seed ~plans () in
+    if json then print_endline (Chaos.soak_to_json report)
+    else Format.printf "%a@." Chaos.pp_soak report;
+    match Chaos.soak_violations report with
+    | [] -> `Ok 0
+    | vs ->
+        List.iter (Printf.eprintf "chaos: %s\n") vs;
+        Printf.eprintf "chaos: serve soak contract violated\n%!";
+        `Ok 1
+  end
+  else begin
+    let report = Chaos.run ~seed ~plans () in
+    if json then print_endline (Chaos.to_json report)
+    else Format.printf "%a@." Chaos.pp report;
+    match Chaos.violations report with
+    | [] -> `Ok 0
+    | vs ->
+        List.iter (Printf.eprintf "chaos: %s\n") vs;
+        Printf.eprintf "chaos: supervision contract violated\n%!";
+        `Ok 1
+  end
+
+(* ---- the server --------------------------------------------------- *)
+
+(* [dfsm serve] — JSONL requests on stdin, JSONL responses on stdout
+   (flushed per line), run summary repeated on stderr.  SIGTERM/SIGINT
+   drain gracefully: stop admitting, finish everything queued, emit the
+   summary line, exit per the contract (0 clean, 1 lost requests or an
+   unclean drain).  The interrupt is CLI plumbing — [Serve.Server.run]
+   only ever sees its source return [None]. *)
+exception Drain_now
+
+let serve jobs capacity fuel max_line seed trace metrics =
+  with_jobs jobs @@ fun () ->
+  with_obs ?trace ?metrics @@ fun () ->
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.capacity; default_fuel = fuel; max_line; seed }
+  in
+  let stop = ref false in
+  let in_read = ref false in
+  (* Raising interrupts a blocked [input_line]; outside the read the
+     flag alone suffices (the source checks it before the next line)
+     and raising would tear a response mid-write. *)
+  let on_signal _ = if !in_read then raise Drain_now else stop := true in
+  List.iter
+    (fun s ->
+       try Sys.set_signal s (Sys.Signal_handle on_signal)
+       with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  let source () =
+    if !stop then None
+    else begin
+      in_read := true;
+      let line =
+        try In_channel.input_line In_channel.stdin with Drain_now ->
+          stop := true;
+          None
+      in
+      in_read := false;
+      line
+    end
+  in
+  let emit line =
+    print_string line;
+    print_newline ();
+    flush stdout
+  in
+  let summary = Serve.Server.run ~config ~emit source in
+  Format.eprintf "%a@." Serve.Server.pp_summary summary;
+  gate
+    ~ok:(summary.Serve.Server.drained && Serve.Server.accounted summary)
+    "serve: lost requests or unclean drain"
 
 (* ---- cmdliner plumbing ------------------------------------------- *)
 
@@ -666,6 +715,13 @@ let faults_cmd =
     Term.(ret (const faults $ jobs_arg $ smoke_arg $ resume_arg $ checkpoint_arg
                $ stop_after_arg $ trace_arg $ metrics_file_arg))
 
+let soak_flag =
+  Arg.(value & flag
+       & info [ "soak" ]
+         ~doc:"Replay the fault catalog against a live $(b,dfsm serve) loop \
+               instead of the batch pipeline, asserting zero lost requests \
+               and a clean drain under every plan.")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
@@ -673,7 +729,38 @@ let chaos_cmd =
              the resilience contract: no lost items, bounded retries, \
              deterministic reports")
     Term.(ret (const chaos $ jobs_arg $ seed_arg $ json_flag $ smoke_arg
-               $ trace_arg $ metrics_file_arg))
+               $ soak_flag $ trace_arg $ metrics_file_arg))
+
+let capacity_arg =
+  Arg.(value & opt int Serve.Server.default_config.Serve.Server.capacity
+       & info [ "capacity" ] ~docv:"N"
+         ~doc:"Admission-queue bound: work requests beyond N queued between \
+               scheduling points are shed with a typed $(b,overloaded) \
+               response, never buffered unboundedly.")
+
+let fuel_arg =
+  Arg.(value & opt int Serve.Server.default_config.Serve.Server.default_fuel
+       & info [ "fuel" ] ~docv:"N"
+         ~doc:"Default per-attempt handler fuel; a request's $(b,fuel) field \
+               overrides it.  Exhaustion is a typed $(b,deadline) response.")
+
+let max_line_arg =
+  Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_line
+       & info [ "max-line" ] ~docv:"BYTES"
+         ~doc:"Request lines longer than this get a typed error response and \
+               are never admitted.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running analysis service: JSONL requests on stdin, JSONL \
+             responses on stdout.  Bounded admission with typed load-shedding, \
+             per-request supervision (retry, per-class circuit breakers, fuel \
+             deadlines, quarantine), graceful drain on EOF, shutdown request, \
+             SIGTERM or SIGINT.  The response stream is byte-identical at \
+             every $(b,-j).")
+    Term.(ret (const serve $ jobs_arg $ capacity_arg $ fuel_arg $ max_line_arg
+               $ seed_arg $ trace_arg $ metrics_file_arg))
 
 let extract_cmd =
   Cmd.v
@@ -711,7 +798,7 @@ let main =
     [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
       lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
       baselines_cmd; extract_cmd; lint_cmd; matrix_cmd; export_cmd; faults_cmd;
-      chaos_cmd ]
+      chaos_cmd; serve_cmd ]
 
 (* The exit-code contract: cmdliner's usage errors (unknown command,
    unknown application, bad flags) land on 2; term-level failures

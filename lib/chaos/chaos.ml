@@ -188,6 +188,170 @@ let to_json r =
 let stable ?seed ?plans () =
   to_json (run ?seed ?plans ()) = to_json (run ?seed ?plans ())
 
+(* ---- the server soak leg ------------------------------------------ *)
+
+type soak_run = {
+  soak_plan : Fault.Plan.t;
+  soak_events : int;
+  lines_emitted : int;
+  summary : Serve.Server.summary;
+}
+
+type soak_report = {
+  soak_seed : int;
+  script_lines : int;
+  work_requests : int;
+  expect_shed : int;
+  expect_malformed : int;
+  soak_runs : soak_run list;
+}
+
+let soak_config =
+  { Serve.Server.default_config with
+    Serve.Server.capacity = 4;
+    max_line = 512 }
+
+(* A canned request mix that exercises every server path: supervised
+   work across request classes, retries (boom fault), quarantine (boom
+   crash), stats, a burst past the admission bound (shedding), and
+   malformed + oversized lines — all between explicit flush ticks so
+   queue occupancy is a pure function of the script. *)
+let soak_script () =
+  [ "# chaos soak script";
+    {|{"id":"w1","kind":"analyze","app":"sendmail"}|};
+    {|{"id":"w2","kind":"exploit","app":"nullhttpd"}|};
+    {|{"id":"w3","kind":"lint","target":"tTflag (vulnerable)"}|};
+    {|{"id":"w4","kind":"boom","mode":"fault","times":2}|};
+    {|{"kind":"flush"}|};
+    {|{"id":"s1","kind":"stats"}|};
+    "this line is not a request";
+    {|{"id":"w5","kind":"boom","mode":"crash"}|};
+    {|{"id":"w6","kind":"lint","target":"Log (fixed)"}|};
+    {|{"kind":"flush"}|} ]
+  @ List.init 8 (fun i ->
+        Printf.sprintf {|{"id":"b%d","kind":"lint","target":"Log (vulnerable)"}|}
+          (i + 1))
+  @ [ {|{"id":"big","kind":"lint","target":"|} ^ String.make 600 'x' ^ {|"}|};
+      {|{"id":"s2","kind":"stats","full":false}|};
+      {|{"kind":"shutdown"}|} ]
+
+let soak_work_requests = 6 + 8  (* w1-w6 plus the b1-b8 burst *)
+let soak_expect_shed = 8 - soak_config.Serve.Server.capacity
+let soak_expect_malformed = 2  (* the non-JSON line, the oversized line *)
+
+let soak ?(seed = default_seed) ?(plans = Fault.Catalog.all)
+    ?(config = soak_config) () =
+  let script = soak_script () in
+  let soak_runs =
+    (* Same fan-out discipline as [run]: each pool worker installs its
+       own domain-local injector, and the server skips speculation
+       under an active injector, so every plan's response stream is
+       exactly the sequential one. *)
+    Par.map_list ~label:"chaos.soak"
+      (fun (plan : Fault.Plan.t) ->
+         let config =
+           { config with
+             Serve.Server.seed = seed lxor Hashtbl.hash plan.Fault.Plan.name }
+         in
+         let (lines, summary), events =
+           Fault.Hooks.run plan (fun () ->
+               Serve.Server.run_script ~config script)
+         in
+         { soak_plan = plan;
+           soak_events = List.length events;
+           lines_emitted = List.length lines;
+           summary })
+      plans
+  in
+  { soak_seed = seed;
+    script_lines = List.length script;
+    work_requests = soak_work_requests;
+    expect_shed = soak_expect_shed;
+    expect_malformed = soak_expect_malformed;
+    soak_runs }
+
+let soak_run_violations r (sr : soak_run) =
+  let where = Printf.sprintf "plan %s, serve soak" sr.soak_plan.Fault.Plan.name in
+  let s = sr.summary in
+  let check cond msg = if cond then [] else [ Printf.sprintf "%s: %s" where msg ] in
+  check (Serve.Server.accounted s)
+    (Printf.sprintf
+       "LOST REQUESTS (%d admitted, %d terminal responses)" s.Serve.Server.admitted
+       (s.Serve.Server.completed + s.Serve.Server.errors
+        + s.Serve.Server.deadlined + s.Serve.Server.quarantined))
+  @ check s.Serve.Server.drained "NOT DRAINED (input ended with work queued)"
+  @ check
+      (s.Serve.Server.admitted + s.Serve.Server.shed = r.work_requests)
+      (Printf.sprintf "LOST ADMISSION (%d + %d shed <> %d work requests)"
+         s.Serve.Server.admitted s.Serve.Server.shed r.work_requests)
+  @ check
+      (s.Serve.Server.shed = r.expect_shed)
+      (Printf.sprintf "SHED DRIFT (%d shed, expected %d)" s.Serve.Server.shed
+         r.expect_shed)
+  @ check
+      (s.Serve.Server.malformed = r.expect_malformed)
+      (Printf.sprintf "MALFORMED DRIFT (%d, expected %d)"
+         s.Serve.Server.malformed r.expect_malformed)
+  @ check
+      (Run_report.no_lost ~expected:s.Serve.Server.admitted
+         s.Serve.Server.report)
+      "REPORT GAP (report items <> admitted requests)"
+  @ check
+      (Run_report.max_attempts s.Serve.Server.report
+       <= soak_config.Serve.Server.retry.Resilience.Retry.max_attempts)
+      "UNBOUNDED RETRIES"
+
+let soak_violations r = List.concat_map (soak_run_violations r) r.soak_runs
+
+let soak_ok r = soak_violations r = []
+
+let soak_run_to_json sr =
+  Printf.sprintf
+    "{\"plan\": \"%s\", \"benign\": %b, \"events\": %d, \"lines\": %d, \
+     \"summary\": %s}"
+    sr.soak_plan.Fault.Plan.name sr.soak_plan.Fault.Plan.benign sr.soak_events
+    sr.lines_emitted
+    (Serve.Server.summary_to_json sr.summary)
+
+let soak_to_json r =
+  Printf.sprintf
+    "{\"seed\": %d, \"ok\": %b, \"script_lines\": %d, \"work_requests\": %d, \
+     \"plans\": [%s]}"
+    r.soak_seed (soak_ok r) r.script_lines r.work_requests
+    (String.concat ", " (List.map soak_run_to_json r.soak_runs))
+
+let soak_stable ?seed ?plans () =
+  soak_to_json (soak ?seed ?plans ()) = soak_to_json (soak ?seed ?plans ())
+
+let pp_soak ppf r =
+  Format.fprintf ppf "@[<v>chaos soak: seed %d, %d plan%s, %d-line script@,"
+    r.soak_seed
+    (List.length r.soak_runs)
+    (if List.length r.soak_runs = 1 then "" else "s")
+    r.script_lines;
+  List.iter
+    (fun sr ->
+       let s = sr.summary in
+       Format.fprintf ppf
+         "plan %-14s%s  %2d admitted (%d ok, %d err, %d ddl, %d quar), %d \
+          shed, %d malformed, %d fault event%s@,"
+         sr.soak_plan.Fault.Plan.name
+         (if sr.soak_plan.Fault.Plan.benign then " (benign)" else "")
+         s.Serve.Server.admitted s.Serve.Server.completed
+         s.Serve.Server.errors s.Serve.Server.deadlined
+         s.Serve.Server.quarantined s.Serve.Server.shed
+         s.Serve.Server.malformed sr.soak_events
+         (if sr.soak_events = 1 then "" else "s"))
+    r.soak_runs;
+  (match soak_violations r with
+   | [] ->
+       Format.fprintf ppf
+         "chaos soak: contract holds (zero lost requests, clean drain)"
+   | vs ->
+       List.iter (fun v -> Format.fprintf ppf "%s@," v) vs;
+       Format.fprintf ppf "chaos soak: CONTRACT VIOLATED");
+  Format.fprintf ppf "@]"
+
 let pp_leg ppf l =
   match l.outcome with
   | Ran report ->

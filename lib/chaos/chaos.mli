@@ -78,3 +78,56 @@ val stable : ?seed:int -> ?plans:Fault.Plan.t list -> unit -> bool
 val to_json : report -> string
 
 val pp : Format.formatter -> report -> unit
+
+(** {1 Server soak}
+
+    The fault catalog replayed against a live {!Serve.Server}: for
+    each plan, a canned request script — mixed work classes, a burst
+    past the admission bound, malformed and oversized lines, boom
+    requests that crash and fault — runs through the server under
+    {!Fault.Hooks.run}, and the harness asserts {e zero lost
+    requests}: every admitted request got exactly one terminal
+    response, every shed request a typed [overloaded], every bad line
+    a typed error, and the server drained cleanly. *)
+
+type soak_run = {
+  soak_plan : Fault.Plan.t;
+  soak_events : int;  (** injected faults that actually fired *)
+  lines_emitted : int;  (** response lines, summary included *)
+  summary : Serve.Server.summary;
+}
+
+type soak_report = {
+  soak_seed : int;
+  script_lines : int;
+  work_requests : int;  (** work lines in the script: admitted + shed *)
+  expect_shed : int;    (** the burst minus the admission capacity *)
+  expect_malformed : int;
+  soak_runs : soak_run list;
+}
+
+val soak_script : unit -> string list
+(** The canned request script (shared with tests and the CLI). *)
+
+val soak :
+  ?seed:int ->
+  ?plans:Fault.Plan.t list ->
+  ?config:Serve.Server.config ->
+  unit ->
+  soak_report
+(** Defaults: {!default_seed}, {!Fault.Catalog.all}, and a server
+    config with capacity 4 / max_line 512 so the script's burst and
+    oversized line actually bite.  Each plan's server seed is derived
+    from [seed] and the plan name. *)
+
+val soak_violations : soak_report -> string list
+(** Human-readable contract violations; empty iff {!soak_ok}. *)
+
+val soak_ok : soak_report -> bool
+
+val soak_stable : ?seed:int -> ?plans:Fault.Plan.t list -> unit -> bool
+(** Run twice; byte-compare the JSON. *)
+
+val soak_to_json : soak_report -> string
+
+val pp_soak : Format.formatter -> soak_report -> unit

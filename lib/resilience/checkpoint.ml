@@ -2,6 +2,8 @@ type t = {
   table : (string, int) Hashtbl.t;   (* id -> attempts *)
   mutable rev_order : string list;
   path : string option;
+  mutable chan : out_channel option;  (* cached append channel *)
+  mutable skipped : int list;         (* unparseable journal lines, 1-based, reverse *)
 }
 
 (* One line per completion: "<attempts> <escaped id>".  Escaping keeps
@@ -21,7 +23,9 @@ let parse_line line =
           | id -> Some (id, attempts)
           | exception Scanf.Scan_failure _ -> None))
 
-let in_memory () = { table = Hashtbl.create 16; rev_order = []; path = None }
+let in_memory () =
+  { table = Hashtbl.create 16; rev_order = []; path = None; chan = None;
+    skipped = [] }
 
 let record t id attempts =
   if not (Hashtbl.mem t.table id) then begin
@@ -30,22 +34,50 @@ let record t id attempts =
   end
 
 let load path =
-  let t = { table = Hashtbl.create 16; rev_order = []; path = Some path } in
+  let t =
+    { table = Hashtbl.create 16; rev_order = []; path = Some path;
+      chan = None; skipped = [] }
+  in
   if Sys.file_exists path then
     In_channel.with_open_text path (fun ic ->
-        let rec go () =
+        let rec go line_no =
           match In_channel.input_line ic with
           | None -> ()
           | Some line ->
               (match parse_line line with
                | Some (id, attempts) -> record t id attempts
-               | None -> ());
-              go ()
+               | None ->
+                   (* a torn final line after a crash, or corruption:
+                      never silently dropped — counted and surfaced *)
+                   t.skipped <- line_no :: t.skipped);
+              go (line_no + 1)
         in
-        go ());
+        go 1);
   t
 
 let path t = t.path
+
+let skipped_lines t = List.rev t.skipped
+
+let skipped t = List.length t.skipped
+
+let finalize t =
+  match t.chan with
+  | None -> ()
+  | Some oc ->
+      t.chan <- None;
+      close_out_noerr oc
+
+(* The cached append channel: opened on the first mark, flushed per
+   line, closed by [finalize] / [reset].  One open/close syscall pair
+   per journal instead of one per completed item. *)
+let channel t path =
+  match t.chan with
+  | Some oc -> oc
+  | None ->
+      let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+      t.chan <- Some oc;
+      oc
 
 let mark t ~id ~attempts =
   if not (Hashtbl.mem t.table id) then begin
@@ -53,12 +85,10 @@ let mark t ~id ~attempts =
     match t.path with
     | None -> ()
     | Some path ->
-        let oc =
-          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
-        in
+        let oc = channel t path in
         output_string oc (line_of ~id ~attempts);
         output_char oc '\n';
-        close_out oc
+        flush oc
   end
 
 let seen t id = Hashtbl.mem t.table id
@@ -72,6 +102,8 @@ let count t = Hashtbl.length t.table
 let reset t =
   Hashtbl.reset t.table;
   t.rev_order <- [];
+  t.skipped <- [];
+  finalize t;
   match t.path with
   | Some path when Sys.file_exists path -> Sys.remove path
   | _ -> ()

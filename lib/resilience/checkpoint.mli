@@ -15,9 +15,19 @@ val in_memory : unit -> t
 val load : string -> t
 (** A file-backed journal at this path; existing entries are read
     back, later {!mark}s are appended and flushed immediately.  The
-    file is created on the first mark if absent. *)
+    file is created on the first mark if absent.  Lines that do not
+    parse — a torn final line after a crash, or corruption — are
+    never silently dropped: they are counted and surfaced through
+    {!skipped} / {!skipped_lines}. *)
 
 val path : t -> string option
+
+val skipped : t -> int
+(** Number of journal lines {!load} could not parse. *)
+
+val skipped_lines : t -> int list
+(** 1-based line numbers of the unparseable journal lines, in file
+    order. *)
 
 val mark : t -> id:string -> attempts:int -> unit
 (** Record a completion.  Re-marking an id keeps the first record. *)
@@ -32,5 +42,12 @@ val ids : t -> string list
 
 val count : t -> int
 
+val finalize : t -> unit
+(** Close the cached append channel (opened lazily by the first
+    {!mark} on a file-backed journal and held — flushed per line —
+    for the journal's lifetime).  Safe to call twice; a later
+    {!mark} reopens it. *)
+
 val reset : t -> unit
-(** Forget every entry; a file-backed journal's file is removed. *)
+(** Forget every entry; a file-backed journal's file is removed and
+    its append channel closed. *)

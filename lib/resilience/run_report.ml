@@ -4,7 +4,13 @@ type outcome =
 
 type item = { id : string; outcome : outcome; from_checkpoint : bool }
 
-type t = { label : string; seed : int; items : item list; waited : int }
+type t = {
+  label : string;
+  seed : int;
+  items : item list;
+  waited : int;
+  journal_skipped : int;
+}
 
 let total t = List.length t.items
 
@@ -54,6 +60,10 @@ let pp ppf t =
     t.label (total t)
     (if total t = 1 then "" else "s")
     (completed t) (retried t) (resumed t) (quarantined t) t.waited;
+  if t.journal_skipped > 0 then
+    Format.fprintf ppf "@,  WARNING: %d unparseable journal line%s skipped"
+      t.journal_skipped
+      (if t.journal_skipped = 1 then "" else "s");
   List.iter
     (fun i ->
        Format.fprintf ppf "@,  %-34s %a%s" i.id pp_outcome i.outcome
@@ -100,7 +110,7 @@ let to_json t =
   Printf.sprintf
     "{\"label\": %s, \"seed\": %d, \"total\": %d, \"completed\": %d, \
      \"retried\": %d, \"resumed\": %d, \"quarantined\": %d, \"waited\": %d, \
-     \"ok\": %b, \"items\": [%s]}"
+     \"journal_skipped\": %d, \"ok\": %b, \"items\": [%s]}"
     (json_str t.label) t.seed (total t) (completed t) (retried t) (resumed t)
-    (quarantined t) t.waited (ok t)
+    (quarantined t) t.waited t.journal_skipped (ok t)
     (String.concat ", " (List.map item_to_json t.items))

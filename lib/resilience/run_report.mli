@@ -25,6 +25,10 @@ type t = {
   seed : int;    (** the retry policy's seed *)
   items : item list;  (** processing order *)
   waited : int;  (** total virtual backoff time this run *)
+  journal_skipped : int;
+      (** journal lines the checkpoint could not parse (a torn final
+          line after a crash, corruption) — surfaced, never silently
+          dropped *)
 }
 
 val total : t -> int

@@ -196,11 +196,16 @@ let run ?(label = "supervised") ?(config = default_config) ?checkpoint
       items
   in
   ignore interrupted;
+  (match checkpoint with Some cp -> Checkpoint.finalize cp | None -> ());
   { report =
       { Run_report.label;
         seed = config.retry.Retry.seed;
         items = List.rev !rev_items;
-        waited = !waited };
+        waited = !waited;
+        journal_skipped =
+          (match checkpoint with
+           | Some cp -> Checkpoint.skipped cp
+           | None -> 0) };
     results = List.rev !rev_results;
     quarantined;
     breakers = List.rev !rev_breakers }

@@ -1,0 +1,33 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutable admitted : int;
+  mutable shed : int;
+}
+
+let create ~capacity = { capacity = max 1 capacity; q = Queue.create (); admitted = 0; shed = 0 }
+
+let capacity t = t.capacity
+
+let depth t = Queue.length t.q
+
+let admit t x =
+  if Queue.length t.q >= t.capacity then begin
+    t.shed <- t.shed + 1;
+    `Shed
+  end
+  else begin
+    Queue.add x t.q;
+    t.admitted <- t.admitted + 1;
+    `Admitted
+  end
+
+let drain t =
+  let rec go acc =
+    match Queue.take_opt t.q with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let admitted t = t.admitted
+
+let shed t = t.shed

@@ -1,0 +1,29 @@
+(** The bounded admission queue.
+
+    Requests wait here between scheduling ticks.  Admission never
+    buffers beyond [capacity]: once the queue is full, {!admit}
+    answers [`Shed] and the caller must emit a typed [overloaded]
+    rejection instead of queueing — load-shedding is part of the
+    protocol, not an error path.  FIFO order is preserved by
+    {!drain}, so the scheduler processes requests in arrival order
+    and the response stream stays deterministic. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : 'a t -> int
+
+val depth : 'a t -> int
+
+val admit : 'a t -> 'a -> [ `Admitted | `Shed ]
+
+val drain : 'a t -> 'a list
+(** Remove and return everything, oldest first. *)
+
+val admitted : 'a t -> int
+(** Total ever admitted. *)
+
+val shed : 'a t -> int
+(** Total ever shed. *)

@@ -1,0 +1,43 @@
+(** A minimal JSON codec for the serve protocol.
+
+    Just enough of RFC 8259 for request/response framing: objects,
+    arrays, strings (with the standard escapes; [\uXXXX] above
+    U+007F decodes to ['?'] — the protocol never carries non-ASCII
+    payloads), integers, floats, booleans and null.  The printer is
+    canonical — object fields print in construction order with no
+    insignificant whitespace — so a value round-trips byte-identically,
+    which the serve determinism contract relies on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** One JSON value; trailing garbage after it is an error. *)
+
+val to_string : t -> string
+
+(** {2 Accessors} — all total, [None] on kind mismatch. *)
+
+val mem : string -> t -> t option
+(** First binding of the field in an [Obj]. *)
+
+val str : t -> string option
+
+val int : t -> int option
+
+val bool : t -> bool option
+
+val field_str : string -> t -> string option
+
+val field_int : string -> t -> int option
+
+val field_bool : string -> t -> bool option
+
+val escape : string -> string
+(** The body of a JSON string literal (no surrounding quotes). *)

@@ -1,0 +1,388 @@
+module R = Resilience
+
+type config = {
+  capacity : int;
+  default_fuel : int;
+  max_line : int;
+  retry : R.Retry.policy;
+  breaker : R.Breaker.config;
+  seed : int;
+}
+
+let default_config =
+  { capacity = 16;
+    default_fuel = 64;
+    max_line = 65536;
+    retry = R.Retry.default;
+    breaker = R.Breaker.default_config;
+    seed = 20021130 }
+
+type summary = {
+  admitted : int;
+  shed : int;
+  completed : int;
+  errors : int;
+  deadlined : int;
+  quarantined : int;
+  malformed : int;
+  stats_served : int;
+  batches : int;
+  vt : int;
+  drained : bool;
+  latencies : int list;
+  report : R.Run_report.t;
+}
+
+let accounted s =
+  s.admitted = s.completed + s.errors + s.deadlined + s.quarantined
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = max 1 (((p * n) + 99) / 100) in
+      List.nth sorted (min (n - 1) (rank - 1))
+
+let summary_to_json s =
+  Printf.sprintf
+    "{\"status\": \"summary\", \"admitted\": %d, \"shed\": %d, \"completed\": \
+     %d, \"errors\": %d, \"deadline\": %d, \"quarantined\": %d, \"malformed\": \
+     %d, \"stats\": %d, \"batches\": %d, \"vt\": %d, \"drained\": %b, \
+     \"accounted\": %b, \"latency_p50\": %d, \"latency_p99\": %d, \"report\": %s}"
+    s.admitted s.shed s.completed s.errors s.deadlined s.quarantined
+    s.malformed s.stats_served s.batches s.vt s.drained (accounted s)
+    (percentile 50 s.latencies) (percentile 99 s.latencies)
+    (R.Run_report.to_json s.report)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>serve: %d admitted (%d completed, %d errors, %d deadline, %d \
+     quarantined), %d shed, %d malformed, %d stats@,%d batch%s over %d virtual \
+     time units; latency p50 %d, p99 %d@,drained %b, accounted %b@]"
+    s.admitted s.completed s.errors s.deadlined s.quarantined s.shed
+    s.malformed s.stats_served s.batches
+    (if s.batches = 1 then "" else "es")
+    s.vt
+    (percentile 50 s.latencies) (percentile 99 s.latencies)
+    s.drained (accounted s)
+
+(* ---- metrics ------------------------------------------------------ *)
+
+let m_admitted = Obs.Metrics.counter "serve.admitted"
+let m_shed = Obs.Metrics.counter "serve.shed"
+let m_completed = Obs.Metrics.counter "serve.completed"
+let m_quarantined = Obs.Metrics.counter "serve.quarantined"
+let m_malformed = Obs.Metrics.counter "serve.malformed"
+let m_batches = Obs.Metrics.counter "serve.batches"
+let m_latency = Obs.Metrics.histogram "serve.latency"
+
+(* ---- the loop ----------------------------------------------------- *)
+
+type pending = {
+  p_id : string;
+  p_work : Protocol.work;
+  p_fuel : int;
+  p_arrived : int;
+}
+
+let run ?(config = default_config) ~emit source =
+  Obs.Span.with_span ~cat:"serve" "serve" @@ fun () ->
+  let queue : pending Admission.t = Admission.create ~capacity:config.capacity in
+  let vt = ref 0 in
+  let line_no = ref 0 in
+  let completed = ref 0 in
+  let errors = ref 0 in
+  let deadlined = ref 0 in
+  let quarantined = ref 0 in
+  let malformed = ref 0 in
+  let stats_served = ref 0 in
+  let batches = ref 0 in
+  let rev_latencies = ref [] in
+  let waited = ref 0 in
+  let rev_report_items = ref [] in
+  let breakers : (string, R.Breaker.t) Hashtbl.t = Hashtbl.create 7 in
+  let rev_breakers = ref [] in
+  let breaker_of cls =
+    match Hashtbl.find_opt breakers cls with
+    | Some b -> b
+    | None ->
+        let b = R.Breaker.create ~config:config.breaker ~resource:cls () in
+        Hashtbl.add breakers cls b;
+        rev_breakers := b :: !rev_breakers;
+        b
+  in
+  let respond (r : Protocol.response) =
+    (match r.Protocol.status with
+     | Protocol.Ok_ -> incr completed
+     | Protocol.Error_ -> incr errors
+     | Protocol.Deadline -> incr deadlined
+     | Protocol.Quarantined -> incr quarantined
+     | Protocol.Overloaded -> ());
+    emit (Protocol.render r)
+  in
+  let report_item id outcome =
+    rev_report_items :=
+      { R.Run_report.id; outcome; from_checkpoint = false }
+      :: !rev_report_items
+  in
+  (* One batch: the supervision replay of everything currently queued.
+     Mirrors Resilience.Supervisor: speculate first attempts on the
+     pool (at every -j, skipped under an active injector), then replay
+     sequentially in admission order, owning the clock, the breakers
+     and the response stream. *)
+  let invoke_handler (p : pending) ~attempt =
+    Obs.Span.with_span ~cat:"serve"
+      ~args:
+        [ ("id", p.p_id); ("class", Protocol.work_class p.p_work);
+          ("attempt", string_of_int attempt) ]
+      ("request:" ^ p.p_id)
+      (fun () -> Handlers.run ~attempt ~fuel:p.p_fuel p.p_work)
+  in
+  let process_batch () =
+    match Admission.drain queue with
+    | [] -> ()
+    | items ->
+        incr batches;
+        Obs.Metrics.incr m_batches;
+        let speculated : (int, _ result) Hashtbl.t = Hashtbl.create 16 in
+        if Fault.Hooks.current () = None then
+          Par.map_list ~label:"serve.batch"
+            (fun (i, p) ->
+               let r =
+                 match invoke_handler p ~attempt:1 with
+                 | v -> Ok v
+                 | exception e -> Error e
+               in
+               (i, r))
+            (List.mapi (fun i p -> (i, p)) items)
+          |> List.iter (fun (i, r) -> Hashtbl.replace speculated i r);
+        List.iteri
+          (fun i (p : pending) ->
+             let invoke ~attempt =
+               if attempt = 1 then
+                 match Hashtbl.find_opt speculated i with
+                 | Some r -> (
+                     Hashtbl.remove speculated i;
+                     match r with Ok v -> v | Error e -> raise e)
+                 | None -> invoke_handler p ~attempt
+               else invoke_handler p ~attempt
+             in
+             let cls = Protocol.work_class p.p_work in
+             let breaker = breaker_of cls in
+             let schedule =
+               Array.of_list
+                 (R.Retry.delays
+                    { config.retry with
+                      R.Retry.seed =
+                        config.seed lxor Hashtbl.hash (p.p_id, p.p_arrived) })
+             in
+             let quarantine ~attempts cause =
+               report_item p.p_id (R.Run_report.Quarantined { attempts; cause });
+               respond (Protocol.quarantined ~id:p.p_id ~attempts cause)
+             in
+             (* out of retries (or the class breaker never recovered):
+                quarantine with [cause]; else back off and re-attempt *)
+             let rec retry_or k cause =
+               if k >= config.retry.R.Retry.max_attempts then
+                 quarantine ~attempts:k cause
+               else begin
+                 let d = schedule.(k - 1) in
+                 vt := !vt + d;
+                 waited := !waited + d;
+                 Obs.Span.instant ~cat:"serve"
+                   ~args:
+                     [ ("id", p.p_id); ("delay", string_of_int d);
+                       ("vt", string_of_int !vt) ]
+                   "backoff";
+                 attempt (k + 1)
+               end
+             and attempt k =
+               incr vt;
+               if not (R.Breaker.acquire breaker ~now:!vt) then
+                 retry_or k (R.Quarantine.Breaker_open { resource = cls })
+               else
+                 match invoke ~attempt:k with
+                 | Handlers.Done payload, spent ->
+                     vt := !vt + spent;
+                     R.Breaker.success breaker;
+                     let latency = !vt - p.p_arrived in
+                     rev_latencies := latency :: !rev_latencies;
+                     Obs.Metrics.incr m_completed;
+                     Obs.Metrics.observe m_latency latency;
+                     report_item p.p_id (R.Run_report.Completed { attempts = k });
+                     respond (Protocol.ok ~id:p.p_id ~latency ~attempts:k payload)
+                 | Handlers.Deadline_hit { spent }, _ ->
+                     (* the request's own fuel ran out: not an
+                        environmental failure, so the breaker does not
+                        trip — a typed deadline response, terminally *)
+                     vt := !vt + spent;
+                     R.Breaker.success breaker;
+                     report_item p.p_id
+                       (R.Run_report.Quarantined
+                          { attempts = k;
+                            cause = R.Quarantine.Deadline_exceeded { spent } });
+                     respond
+                       (Protocol.deadline ~id:p.p_id ~attempts:k ~spent ())
+                 | exception Fault.Condition.Simulated c ->
+                     R.Breaker.failure breaker ~now:!vt
+                       ~cause:(Fault.Condition.to_string c);
+                     retry_or k
+                       (R.Quarantine.Retries_exhausted { attempts = k; last = c })
+                 | exception R.Quarantine.Reject detail ->
+                     R.Breaker.failure breaker ~now:!vt ~cause:detail;
+                     report_item p.p_id
+                       (R.Run_report.Quarantined
+                          { attempts = k;
+                            cause = R.Quarantine.Rejected { detail } });
+                     respond (Protocol.error ~id:p.p_id ~attempts:k detail)
+                 | exception e ->
+                     let exn = Printexc.to_string e in
+                     R.Breaker.failure breaker ~now:!vt ~cause:exn;
+                     quarantine ~attempts:k (R.Quarantine.Crash { exn })
+             in
+             attempt 1)
+          items
+  in
+  (* A line that never became an admitted request: typed error
+     response, counted as [malformed], NOT as a request error — the
+     accounting contract equates [admitted] with terminal responses
+     of admitted requests only. *)
+  let bad_line ~id detail =
+    incr malformed;
+    Obs.Metrics.incr m_malformed;
+    Obs.Span.instant ~cat:"serve" ~args:[ ("id", id) ] "malformed";
+    emit (Protocol.render (Protocol.error ~id detail))
+  in
+  let serve_stats ~id ~full =
+    incr stats_served;
+    let counters =
+      [ ("queue", Json.Int (Admission.depth queue));
+        ("capacity", Json.Int (Admission.capacity queue));
+        ("vt", Json.Int !vt);
+        ("admitted", Json.Int (Admission.admitted queue));
+        ("shed", Json.Int (Admission.shed queue));
+        ("completed", Json.Int !completed);
+        ("errors", Json.Int !errors);
+        ("deadline", Json.Int !deadlined);
+        ("quarantined", Json.Int !quarantined);
+        ("malformed", Json.Int !malformed);
+        ("batches", Json.Int !batches);
+        ("breakers",
+         Json.Obj
+           (List.rev_map
+              (fun b ->
+                 (R.Breaker.resource b,
+                  Json.Str (R.Breaker.state_to_string (R.Breaker.state b))))
+              !rev_breakers)) ]
+    in
+    let body =
+      if not full then counters
+      else
+        (* the full metrics snapshot may embed scheduling-dependent
+           gauge high-water marks; byte-compare scripts use the
+           deterministic counters above instead *)
+        counters
+        @ [ ("metrics",
+             match Json.parse (Obs.Metrics.to_json (Obs.Metrics.snapshot ())) with
+             | Ok v -> v
+             | Error _ -> Json.Null) ]
+    in
+    emit
+      (Protocol.render
+         { Protocol.id; status = Protocol.Ok_; latency = None; attempts = None;
+           body = [ ("stats", Json.Obj body) ] })
+  in
+  let drained = ref false in
+  let rec loop () =
+    match source () with
+    | None ->
+        process_batch ();
+        drained := true
+    | Some raw ->
+        incr line_no;
+        let line =
+          (* tolerate CRLF framing *)
+          let n = String.length raw in
+          if n > 0 && raw.[n - 1] = '\r' then String.sub raw 0 (n - 1) else raw
+        in
+        let line_id = Printf.sprintf "line:%d" !line_no in
+        if line = "" || (String.length line > 0 && line.[0] = '#') then loop ()
+        else if String.length line > config.max_line then begin
+          bad_line ~id:line_id
+            (Printf.sprintf "oversized request: %d bytes > max %d"
+               (String.length line) config.max_line);
+          loop ()
+        end
+        else
+          match Protocol.parse ~line_id line with
+          | Error detail ->
+              bad_line ~id:line_id detail;
+              loop ()
+          | Ok (Protocol.Stats { id; full }) ->
+              serve_stats ~id ~full;
+              loop ()
+          | Ok Protocol.Flush ->
+              process_batch ();
+              loop ()
+          | Ok Protocol.Shutdown ->
+              process_batch ();
+              drained := true
+          | Ok (Protocol.Work { id; fuel; work }) ->
+              incr vt;
+              let p =
+                { p_id = id; p_work = work;
+                  p_fuel = Option.value ~default:config.default_fuel fuel;
+                  p_arrived = !vt }
+              in
+              (match Admission.admit queue p with
+               | `Admitted -> Obs.Metrics.incr m_admitted
+               | `Shed ->
+                   Obs.Metrics.incr m_shed;
+                   Obs.Span.instant ~cat:"serve"
+                     ~args:[ ("id", id) ] "overloaded";
+                   emit
+                     (Protocol.render
+                        (Protocol.overloaded ~id
+                           ~depth:(Admission.depth queue)
+                           ~capacity:(Admission.capacity queue))));
+              loop ()
+  in
+  loop ();
+  Obs.Metrics.add m_quarantined !quarantined;
+  let summary =
+    { admitted = Admission.admitted queue;
+      shed = Admission.shed queue;
+      completed = !completed;
+      errors = !errors;
+      deadlined = !deadlined;
+      quarantined = !quarantined;
+      malformed = !malformed;
+      stats_served = !stats_served;
+      batches = !batches;
+      vt = !vt;
+      drained = !drained;
+      latencies = List.rev !rev_latencies;
+      report =
+        { R.Run_report.label = "serve";
+          seed = config.seed;
+          items = List.rev !rev_report_items;
+          waited = !waited;
+          journal_skipped = 0 } }
+  in
+  emit (summary_to_json summary);
+  summary
+
+let run_script ?config lines =
+  let remaining = ref lines in
+  let source () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+        remaining := rest;
+        Some l
+  in
+  let rev_out = ref [] in
+  let emit line = rev_out := line :: !rev_out in
+  let summary = run ?config ~emit source in
+  (List.rev !rev_out, summary)

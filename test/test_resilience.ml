@@ -156,6 +156,18 @@ let test_checkpoint_file () =
   R.Checkpoint.reset reloaded;
   Alcotest.(check bool) "reset removes the file" false (Sys.file_exists path)
 
+let test_checkpoint_skipped_surfaced () =
+  let path = Filename.temp_file "dfsm-test" ".checkpoint" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "1 ok\nnot a journal line\n2 also-ok\nx y\n");
+  let cp = R.Checkpoint.load path in
+  Alcotest.(check int) "valid entries load" 2 (R.Checkpoint.count cp);
+  Alcotest.(check int) "corrupt lines counted" 2 (R.Checkpoint.skipped cp);
+  Alcotest.(check (list int)) "corrupt lines located" [ 2; 4 ]
+    (R.Checkpoint.skipped_lines cp);
+  R.Checkpoint.reset cp;
+  Alcotest.(check int) "reset clears the count" 0 (R.Checkpoint.skipped cp)
+
 (* ---- supervisor --------------------------------------------------- *)
 
 let item id work = { Sup.id; resource = "r"; work }
@@ -286,6 +298,55 @@ let prop_resume_exactly_once =
                executions runs it.Sup.id + executions runs2 it.Sup.id = 1)
             items)
 
+let prop_torn_journal_resume =
+  let open QCheck in
+  (* Crash-consistency of the file journal: kill a sweep after [stop]
+     items, then truncate its journal at an arbitrary byte offset — a
+     torn tail, as a real crash mid-append leaves.  Reloading must
+     surface at most one unparseable line (the torn one), never error;
+     the resumed sweep must account for every item with the same
+     outcomes as an uninterrupted run; and no item's side effects run
+     more than twice (once before the kill, once more only if the
+     truncation ate its journal record). *)
+  Test.make ~name:"checkpoint: torn journal resumes with no loss, no double effects"
+    ~count:60
+    (quad (int_range 1 10) small_nat small_nat small_nat)
+    (fun (n, stop, seed, cut) ->
+       let stop = stop mod (n + 1) in
+       let path = Filename.temp_file "dfsm-torn" ".journal" in
+       Sys.remove path;
+       let cp = R.Checkpoint.load path in
+       let items, runs = flaky_items ~seed n in
+       ignore (Sup.run ~checkpoint:cp ~stop_after:stop items);
+       R.Checkpoint.finalize cp;
+       let journal =
+         if Sys.file_exists path then
+           In_channel.with_open_bin path In_channel.input_all
+         else ""
+       in
+       let cut = cut mod (String.length journal + 1) in
+       Out_channel.with_open_bin path (fun oc ->
+           Out_channel.output_string oc (String.sub journal 0 cut));
+       let reloaded = R.Checkpoint.load path in
+       let items2, runs2 = flaky_items ~seed n in
+       let resumed = Sup.run ~checkpoint:reloaded items2 in
+       let fresh, _ = flaky_items ~seed n in
+       let uninterrupted = Sup.run fresh in
+       if Sys.file_exists path then begin
+         R.Checkpoint.finalize reloaded;
+         Sys.remove path
+       end;
+       R.Checkpoint.skipped reloaded <= 1
+       && resumed.Sup.report.R.Run_report.journal_skipped
+          = R.Checkpoint.skipped reloaded
+       && R.Run_report.no_lost ~expected:n resumed.Sup.report
+       && R.Run_report.same_outcomes resumed.Sup.report uninterrupted.Sup.report
+       && List.for_all
+            (fun (it : _ Sup.item) ->
+               let e = executions runs it.Sup.id + executions runs2 it.Sup.id in
+               1 <= e && e <= 2)
+            items)
+
 (* ---- ingest ------------------------------------------------------- *)
 
 let curated_csv = Vulndb.Csv.of_database (Vulndb.Seed_data.database ())
@@ -374,7 +435,10 @@ let () =
          QCheck_alcotest.to_alcotest prop_breaker_no_open_to_closed ]);
       ("deadline", [ Alcotest.test_case "fuel and nesting" `Quick test_deadline ]);
       ("checkpoint",
-       [ Alcotest.test_case "file journal round trip" `Quick test_checkpoint_file ]);
+       [ Alcotest.test_case "file journal round trip" `Quick test_checkpoint_file;
+         Alcotest.test_case "corrupt lines surfaced" `Quick
+           test_checkpoint_skipped_surfaced;
+         QCheck_alcotest.to_alcotest prop_torn_journal_resume ]);
       ("supervisor",
        [ Alcotest.test_case "typed outcomes" `Quick test_supervisor_outcomes;
          Alcotest.test_case "deadline quarantines rest" `Quick
