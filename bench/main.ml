@@ -444,6 +444,50 @@ let ablation_interleavings () =
     "@.the xterm experiment (3 x 2 = 10 schedules, 1 winner) is tractable; the \
      growth explains why real TOCTTOU bugs hide from stress testing@."
 
+let races_bench () =
+  section "RACE -- static TOCTTOU scan + replay confirmation (plain vs POR)";
+  let budget = Racecheck.Driver.default_budget in
+  let plain, t_plain = wall (fun () -> Racecheck.Driver.analyze ()) in
+  let por, t_por = wall (fun () -> Racecheck.Driver.analyze ~por:true ()) in
+  let explored st =
+    match st with
+    | Racecheck.Driver.Confirmed { explored; _ }
+    | Racecheck.Driver.Refuted { explored }
+    | Racecheck.Driver.Unresolved { explored; _ } -> explored
+  in
+  let sums ir =
+    List.fold_left
+      (fun (e, u) c ->
+        ( e + explored c.Racecheck.Driver.status,
+          u
+          + match c.Racecheck.Driver.status with
+            | Racecheck.Driver.Unresolved _ -> 1
+            | _ -> 0 ))
+      (0, 0) ir.Racecheck.Driver.findings
+  in
+  Format.printf "budget: %d replayed schedules per finding@.@." budget;
+  Format.printf "%-16s %9s %8s | %15s %10s | %15s %10s@." "instance" "findings"
+    "total" "plain explored" "unresolved" "por explored" "unresolved";
+  List.iter2
+    (fun ip ir ->
+      let pe, pu = sums ip and re, ru = sums ir in
+      Format.printf "%-16s %9d %8d | %15d %10d | %15d %10d@."
+        ip.Racecheck.Driver.instance
+        (List.length ip.Racecheck.Driver.findings)
+        ip.Racecheck.Driver.total pe pu re ru;
+      let slug =
+        String.map (function '+' -> '_' | c -> c) ip.Racecheck.Driver.instance
+      in
+      record ~section:"RACE" (slug ^ "_plain_explored") (float_of_int pe);
+      record ~section:"RACE" (slug ^ "_por_explored") (float_of_int re))
+    plain.Racecheck.Driver.instances por.Racecheck.Driver.instances;
+  Format.printf
+    "@.plain: %.3fs (unresolved findings above), por: %.3fs (every window \
+     drained)@."
+    t_plain t_por;
+  record ~section:"RACE" "plain_s" t_plain;
+  record ~section:"RACE" "por_s" t_por
+
 let trend_extension () =
   section "TREND -- report volume per year (synthetic population; extension)";
   let db = Vulndb.Synth.generate ~seed:20021130 in
@@ -1118,6 +1162,7 @@ let () =
     faults ();
     ablation_aslr ();
     ablation_interleavings ();
+    races_bench ();
     protection_matrix ();
     auto_tool ();
     baselines ();

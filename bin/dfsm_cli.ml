@@ -548,6 +548,22 @@ let serve jobs capacity fuel max_line seed trace metrics =
     ~ok:(summary.Serve.Server.drained && Serve.Server.accounted summary)
     "serve: lost requests or unclean drain"
 
+(* Static TOCTTOU scan over declared step footprints, each finding
+   confirmed or refuted by replaying only the flagged window under
+   the scheduler.  Exit 1 iff a confirmed race exists. *)
+let races jobs json por budget app trace metrics =
+  with_jobs jobs @@ fun () ->
+  with_obs ?trace ?metrics @@ fun () ->
+  if budget < 1 then `Error (false, "--budget must be at least 1")
+  else begin
+    let report = Racecheck.Driver.analyze ~budget ~por ?app () in
+    if json then print_endline (Racecheck.Driver.to_json report)
+    else Format.printf "%a@." Racecheck.Driver.pp report;
+    gate
+      ~ok:(not (Racecheck.Driver.confirmed report))
+      "races: confirmed TOCTTOU race(s) present"
+  end
+
 (* ---- cmdliner plumbing ------------------------------------------- *)
 
 open Cmdliner
@@ -762,6 +778,40 @@ let serve_cmd =
     Term.(ret (const serve $ jobs_arg $ capacity_arg $ fuel_arg $ max_line_arg
                $ seed_arg $ trace_arg $ metrics_file_arg))
 
+let race_app_arg =
+  let doc =
+    Printf.sprintf "Restrict the analysis to one application's instances: %s."
+      (String.concat ", " Racecheck.Instances.apps)
+  in
+  Arg.(value
+       & pos 0
+           (some (enum (List.map (fun a -> (a, a)) Racecheck.Instances.apps)))
+           None
+       & info [] ~docv:"APP" ~doc)
+
+let por_flag =
+  Arg.(value & flag
+       & info [ "por" ]
+         ~doc:"Confirm findings over sleep-set partial-order-reduced \
+               schedules: one representative per Mazurkiewicz trace, same \
+               verdicts, far fewer replays — complete where plain \
+               enumeration exhausts the budget.")
+
+let budget_arg =
+  Arg.(value & opt int Racecheck.Driver.default_budget
+       & info [ "budget" ] ~docv:"N"
+         ~doc:"Replayed schedules per finding before reporting \
+               $(b,unresolved).")
+
+let races_cmd =
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:"Static TOCTTOU detection over step effect footprints, with every \
+             finding confirmed or refuted by scheduler replay of the flagged \
+             check/use window.  Exit 1 iff a race is confirmed.")
+    Term.(ret (const races $ jobs_arg $ json_flag $ por_flag $ budget_arg
+               $ race_app_arg $ trace_arg $ metrics_file_arg))
+
 let extract_cmd =
   Cmd.v
     (Cmd.info "extract"
@@ -798,7 +848,7 @@ let main =
     [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
       lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
       baselines_cmd; extract_cmd; lint_cmd; matrix_cmd; export_cmd; faults_cmd;
-      chaos_cmd; serve_cmd ]
+      chaos_cmd; serve_cmd; races_cmd ]
 
 (* The exit-code contract: cmdliner's usage errors (unknown command,
    unknown application, bad flags) land on 2; term-level failures

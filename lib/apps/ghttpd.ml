@@ -87,6 +87,52 @@ let serve t ~request =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Step-level system: one request round as scheduler steps — socket   *)
+(* and memory effects only, a negative instance for the TOCTTOU       *)
+(* detector.                                                           *)
+
+module Sched = Osmodel.Scheduler
+module E = Osmodel.Effect
+
+type race_state = {
+  srv : t;
+  sock : Osmodel.Socket.t;
+  mutable sent : bool;
+  mutable request : string option;
+  mutable outcome : Outcome.t option;
+}
+
+let race_payload = "GET /index.html"
+
+let race_fresh () =
+  { srv = setup ();
+    sock = Osmodel.Socket.of_string race_payload;
+    sent = false; request = None; outcome = None }
+
+let server_steps =
+  [ Sched.step_e "ghttpd: recv request line"
+      ~effects:[ E.reads E.Socket_stream; E.writes (E.Mem "ghttpd.request") ]
+      (fun st ->
+        if st.sent then
+          st.request <- Some (Osmodel.Socket.recv st.sock 4096));
+    Sched.step_e "ghttpd: Log(request)"
+      ~effects:[ E.reads (E.Mem "ghttpd.request"); E.writes (E.Mem "ghttpd.buf") ]
+      (fun st ->
+        match st.request with
+        | Some request -> st.outcome <- Some (serve st.srv ~request)
+        | None -> ()) ]
+
+let client_steps =
+  [ Sched.step_e "client: send request"
+      ~effects:[ E.writes E.Socket_stream ]
+      (fun st -> st.sent <- true) ]
+
+let race_compromised st =
+  match st.outcome with
+  | Some o when Outcome.is_compromised o -> Some o
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
 (* The Table-2 FSM model.                                              *)
 
 let scenario ~request = Pfsm.Env.add_str "request.data" request Pfsm.Env.empty

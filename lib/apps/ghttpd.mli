@@ -33,6 +33,22 @@ val serve : t -> request:string -> Outcome.t
 (** Handle one request: push the [Log] frame, [strcpy] the request
     into the buffer, return. *)
 
+(** {2 Step-level system}
+
+    One request round decomposed into scheduler steps (client send,
+    server recv, [Log]).  Socket and memory effects only — a negative
+    instance for the TOCTTOU detector. *)
+
+type race_state
+
+val race_fresh : unit -> race_state
+
+val server_steps : race_state Osmodel.Scheduler.step list
+
+val client_steps : race_state Osmodel.Scheduler.step list
+
+val race_compromised : race_state -> Outcome.t option
+
 val model : t -> Pfsm.Model.t
 (** Per [21]/Table 2: pFSM1 size check, pFSM2 return-address
     consistency.  Scenario key: ["request.data"]. *)

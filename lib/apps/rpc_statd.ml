@@ -96,6 +96,52 @@ let notify t ~filename =
   else run_syslog t ~filename
 
 (* ------------------------------------------------------------------ *)
+(* Step-level system: one SM_NOTIFY round as scheduler steps.  All    *)
+(* effects live on the socket stream and named memory objects — no    *)
+(* filesystem attr reads, so the TOCTTOU detector must stay silent.   *)
+
+module Sched = Osmodel.Scheduler
+module E = Osmodel.Effect
+
+type race_state = {
+  srv : t;
+  sock : Osmodel.Socket.t;
+  mutable sent : bool;
+  mutable request : string option;
+  mutable outcome : Outcome.t option;
+}
+
+let race_payload = "/var/statmon/sm/client07"
+
+let race_fresh () =
+  { srv = setup ();
+    sock = Osmodel.Socket.of_string race_payload;
+    sent = false; request = None; outcome = None }
+
+let server_steps =
+  [ Sched.step_e "statd: recv SM_NOTIFY"
+      ~effects:[ E.reads E.Socket_stream; E.writes (E.Mem "statd.request") ]
+      (fun st ->
+        if st.sent then
+          st.request <- Some (Osmodel.Socket.recv st.sock 1024));
+    Sched.step_e "statd: syslog(filename)"
+      ~effects:[ E.reads (E.Mem "statd.request"); E.writes (E.Mem "statd.fmtbuf") ]
+      (fun st ->
+        match st.request with
+        | Some filename -> st.outcome <- Some (notify st.srv ~filename)
+        | None -> ()) ]
+
+let client_steps =
+  [ Sched.step_e "client: send SM_NOTIFY"
+      ~effects:[ E.writes E.Socket_stream ]
+      (fun st -> st.sent <- true) ]
+
+let race_compromised st =
+  match st.outcome with
+  | Some o when Outcome.is_compromised o -> Some o
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
 (* The Table-2 FSM model.                                              *)
 
 let scenario ~filename = Pfsm.Env.add_str "request.filename" filename Pfsm.Env.empty

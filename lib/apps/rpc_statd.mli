@@ -35,6 +35,23 @@ val notify : t -> filename:string -> Outcome.t
     [syslog] it (i.e. run the format interpreter with the varargs
     cursor pointing into that buffer). *)
 
+(** {2 Step-level system}
+
+    One SM_NOTIFY round decomposed into scheduler steps (client send,
+    server recv, syslog).  Effects live on the socket stream and named
+    memory objects only — a negative instance for the TOCTTOU
+    detector. *)
+
+type race_state
+
+val race_fresh : unit -> race_state
+
+val server_steps : race_state Osmodel.Scheduler.step list
+
+val client_steps : race_state Osmodel.Scheduler.step list
+
+val race_compromised : race_state -> Outcome.t option
+
 val model : t -> Pfsm.Model.t
 (** Scenario key: ["request.filename"]. *)
 

@@ -1,4 +1,6 @@
 module Fs = Osmodel.Filesystem
+module Sched = Osmodel.Scheduler
+module E = Osmodel.Effect
 module P = Pfsm.Predicate
 
 type config = {
@@ -82,6 +84,108 @@ let run_attack t ~message =
   match add_utmp_entry t ~as_user:attacker "../etc/passwd" with
   | (Outcome.Refused _ | Outcome.Resource_fault _) as blocked -> blocked
   | _ -> worst (broadcast t ~message)
+
+(* ------------------------------------------------------------------ *)
+(* Step-level race system: rwalld's entry handling as atomic steps.    *)
+
+type race_config = { recheck_at_open : bool }
+
+let vulnerable_race = { recheck_at_open = false }
+
+let pts_path = "/dev/pts/25"
+
+let passwd_path = "/etc/passwd"
+
+let syslog_path = "/var/adm/messages"
+
+let race_message = "rwall broadcast\n"
+
+type race_state = {
+  rfs : Fs.t;
+  mutable entry : string option;
+  mutable tty_ok : bool;
+  mutable syslog_fd : Fs.fd option;
+  mutable passwd_before : string;
+}
+
+let race_fresh () =
+  let t = setup () in
+  { rfs = t.fs; entry = None; tty_ok = false; syslog_fd = None;
+    passwd_before = Fs.content t.fs passwd_path }
+
+(* rwalld resolves the entry relative to /dev; once mallory has
+   symlinked the terminal onto /etc/passwd, resolution reaches the
+   password file — so every resolving step also declares the attr
+   read it would then perform there. *)
+let daemon_steps config =
+  [ Sched.step_e "rwalld: read /etc/utmp"
+      ~effects:[ E.reads (E.Path_attr utmp_path); E.reads (E.Path utmp_path) ]
+      (fun st ->
+        match String.split_on_char '\n' (Fs.read st.rfs utmp_path ~as_user:Osmodel.User.Root) with
+        | entry :: _ when entry <> "" -> st.entry <- Some entry
+        | _ -> st.entry <- None);
+    Sched.step_e "rwalld: stat entry (terminal check)"
+      ~effects:[ E.reads (E.Path_attr pts_path); E.reads (E.Path_attr passwd_path) ]
+      (fun st ->
+        match st.entry with
+        | None -> ()
+        | Some e ->
+            let path = Fs.resolve st.rfs ~cwd:"/dev" e in
+            st.tty_ok <- Fs.kind_of st.rfs path = Fs.Terminal);
+    Sched.step_e "rwalld: open entry and write message as root"
+      ~effects:[ E.reads (E.Path_attr pts_path); E.reads (E.Path_attr passwd_path);
+                 E.creates (E.Path pts_path); E.writes (E.Path pts_path);
+                 E.writes (E.Path passwd_path) ]
+      (fun st ->
+        match st.entry with
+        | None -> ()
+        | Some e ->
+            if st.tty_ok then begin
+              let path = Fs.resolve st.rfs ~cwd:"/dev" e in
+              if config.recheck_at_open && Fs.kind_of st.rfs path <> Fs.Terminal then ()
+              else begin
+                let fd = Fs.open_write st.rfs path ~as_user:Osmodel.User.Root in
+                Fs.append st.rfs fd race_message
+              end
+            end) ]
+
+let mallory_steps =
+  [ Sched.step_e "mallory: unlink /dev/pts/25"
+      ~effects:[ E.unlinks (E.Path pts_path) ]
+      (fun st -> Fs.unlink st.rfs pts_path ~as_user:attacker);
+    Sched.step_e "mallory: symlink /dev/pts/25 -> /etc/passwd"
+      ~effects:[ E.creates (E.Path pts_path) ]
+      (fun st -> Fs.symlink st.rfs ~link:pts_path ~target:passwd_path) ]
+
+(* syslogd churning on its own file — footprint-disjoint from the
+   race, pruned by partial-order reduction, never flagged. *)
+let race_bystander_steps =
+  [ Sched.step_e "syslogd: open /var/adm/messages"
+      ~effects:[ E.reads (E.Path_attr syslog_path); E.creates (E.Path syslog_path) ]
+      (fun st ->
+        st.syslog_fd <- Some (Fs.open_write st.rfs syslog_path ~as_user:Osmodel.User.Root));
+    Sched.step_e "syslogd: append line"
+      ~effects:[ E.writes (E.Path syslog_path) ]
+      (fun st ->
+        match st.syslog_fd with
+        | Some fd -> Fs.append st.rfs fd "kernel: up\n"
+        | None -> ());
+    Sched.step_e "syslogd: stat /var/adm/messages"
+      ~effects:[ E.reads (E.Path_attr syslog_path) ]
+      (fun st -> ignore (Fs.exists st.rfs syslog_path));
+    Sched.step_e "syslogd: read /var/adm/messages"
+      ~effects:[ E.reads (E.Path_attr syslog_path); E.reads (E.Path syslog_path) ]
+      (fun st -> ignore (Fs.read st.rfs syslog_path ~as_user:Osmodel.User.Root));
+    Sched.step_e "syslogd: unlink /var/adm/messages"
+      ~effects:[ E.unlinks (E.Path syslog_path) ]
+      (fun st ->
+        st.syslog_fd <- None;
+        Fs.unlink st.rfs syslog_path ~as_user:Osmodel.User.Root) ]
+
+let race_corrupted st =
+  if Fs.content st.rfs passwd_path <> st.passwd_before then
+    Some (Outcome.File_overwritten { path = passwd_path; data = race_message })
+  else None
 
 (* ------------------------------------------------------------------ *)
 (* The Figure-6 FSM model.                                             *)

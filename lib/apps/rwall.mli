@@ -36,6 +36,37 @@ val broadcast : t -> message:string -> Outcome.t list
 val run_attack : t -> message:string -> Outcome.t
 (** Add ["../etc/passwd"], broadcast, and report the worst outcome. *)
 
+(** {2 Step-level race system}
+
+    rwalld's handling of one utmp entry, decomposed into atomic steps
+    (read utmp; stat the entry; open-and-write as root) racing an
+    attacker who relinks the terminal onto [/etc/passwd] inside the
+    stat/open window — the TOCTTOU reading of Figure 6. *)
+
+type race_config = {
+  recheck_at_open : bool;
+      (** protection: re-stat at open, refuse non-terminals *)
+}
+
+val vulnerable_race : race_config
+
+type race_state
+
+val pts_path : string
+
+val race_fresh : unit -> race_state
+
+val daemon_steps : race_config -> race_state Osmodel.Scheduler.step list
+
+val mallory_steps : race_state Osmodel.Scheduler.step list
+
+val race_bystander_steps : race_state Osmodel.Scheduler.step list
+(** syslogd on [/var/adm/messages] — footprint-disjoint noise. *)
+
+val race_corrupted : race_state -> Outcome.t option
+(** [Some (File_overwritten ...)] when the broadcast reached
+    [/etc/passwd]. *)
+
 val model : t -> Pfsm.Model.t
 (** Figure 6.  Scenario keys: ["user.is_root"], ["target.kind"]. *)
 

@@ -1,5 +1,6 @@
 module Fs = Osmodel.Filesystem
 module Sched = Osmodel.Scheduler
+module E = Osmodel.Effect
 module P = Pfsm.Predicate
 
 type config = { open_nofollow : bool }
@@ -7,6 +8,8 @@ type config = { open_nofollow : bool }
 let log_file = "/usr/tom/x"
 
 let target_file = "/etc/passwd"
+
+let cron_log = "/var/cron/log"
 
 let tom = Osmodel.User.Regular "tom"
 
@@ -16,6 +19,7 @@ type state = {
   fs : Fs.t;
   mutable check_ok : bool;
   mutable fd : Fs.fd option;
+  mutable cron_fd : Fs.fd option;
   mutable passwd_before : string;
 }
 
@@ -24,26 +28,70 @@ let fresh_state () =
   Fs.mkfile fs target_file ~owner:Osmodel.User.Root ~mode:(Osmodel.Perm.of_octal 0o644)
     "root:x:0:0::/root:/bin/sh\n";
   Fs.mkfile fs log_file ~owner:tom ~mode:(Osmodel.Perm.of_octal 0o644) "";
-  { fs; check_ok = false; fd = None; passwd_before = Fs.content fs target_file }
+  { fs; check_ok = false; fd = None; cron_fd = None;
+    passwd_before = Fs.content fs target_file }
 
+(* Footprints over-approximate: path resolution can follow the
+   attacker's symlink, so every step that resolves [log_file] also
+   declares the attr read it would then perform on [target_file]. *)
 let logger_steps config =
-  [ Sched.step "xterm: access(log, W_OK) as tom" (fun st ->
+  [ Sched.step_e "xterm: access(log, W_OK) as tom"
+      ~effects:[ E.reads (E.Path_attr log_file); E.reads (E.Path_attr target_file) ]
+      (fun st ->
         st.check_ok <-
           Fs.access_write st.fs log_file ~as_user:tom
           && not (Fs.is_symlink st.fs log_file));
-    Sched.step "xterm: open(log) as root" (fun st ->
+    Sched.step_e "xterm: open(log) as root"
+      ~effects:[ E.reads (E.Path_attr log_file); E.creates (E.Path log_file);
+                 E.writes (E.Path log_file); E.writes (E.Path target_file) ]
+      (fun st ->
         if st.check_ok then
           if config.open_nofollow && Fs.is_symlink st.fs log_file then st.check_ok <- false
           else st.fd <- Some (Fs.open_write st.fs log_file ~as_user:Osmodel.User.Root));
-    Sched.step "xterm: write log data" (fun st ->
+    Sched.step_e "xterm: write log data"
+      ~effects:[ E.writes (E.Path log_file); E.writes (E.Path target_file) ]
+      (fun st ->
         match st.fd with
         | Some fd -> Fs.append st.fs fd log_data
         | None -> ()) ]
 
 let attacker_steps =
-  [ Sched.step "tom: unlink /usr/tom/x" (fun st -> Fs.unlink st.fs log_file ~as_user:tom);
-    Sched.step "tom: symlink /usr/tom/x -> /etc/passwd" (fun st ->
-        Fs.symlink st.fs ~link:log_file ~target:target_file) ]
+  [ Sched.step_e "tom: unlink /usr/tom/x"
+      ~effects:[ E.unlinks (E.Path log_file) ]
+      (fun st -> Fs.unlink st.fs log_file ~as_user:tom);
+    Sched.step_e "tom: symlink /usr/tom/x -> /etc/passwd"
+      ~effects:[ E.creates (E.Path log_file) ]
+      (fun st -> Fs.symlink st.fs ~link:log_file ~target:target_file) ]
+
+(* An unrelated root daemon churning on its own log: every step is
+   footprint-disjoint from the race, so partial-order reduction prunes
+   its interleavings and the TOCTTOU detector must stay silent on its
+   stat-then-read pair (no foreign writer on [cron_log]). *)
+let bystander_steps =
+  [ Sched.step_e "cron: open /var/cron/log"
+      ~effects:[ E.reads (E.Path_attr cron_log); E.creates (E.Path cron_log) ]
+      (fun st ->
+        st.cron_fd <- Some (Fs.open_write st.fs cron_log ~as_user:Osmodel.User.Root));
+    Sched.step_e "cron: append heartbeat"
+      ~effects:[ E.writes (E.Path cron_log) ]
+      (fun st ->
+        match st.cron_fd with
+        | Some fd -> Fs.append st.fs fd "heartbeat\n"
+        | None -> ());
+    Sched.step_e "cron: chmod 0600 /var/cron/log"
+      ~effects:[ E.reads (E.Path_attr cron_log); E.chmods (E.Path_attr cron_log) ]
+      (fun st -> Fs.chmod st.fs cron_log (Osmodel.Perm.of_octal 0o600));
+    Sched.step_e "cron: stat /var/cron/log"
+      ~effects:[ E.reads (E.Path_attr cron_log) ]
+      (fun st -> ignore (Fs.exists st.fs cron_log));
+    Sched.step_e "cron: read /var/cron/log"
+      ~effects:[ E.reads (E.Path_attr cron_log); E.reads (E.Path cron_log) ]
+      (fun st -> ignore (Fs.read st.fs cron_log ~as_user:Osmodel.User.Root));
+    Sched.step_e "cron: unlink /var/cron/log"
+      ~effects:[ E.unlinks (E.Path cron_log) ]
+      (fun st ->
+        st.cron_fd <- None;
+        Fs.unlink st.fs cron_log ~as_user:Osmodel.User.Root) ]
 
 let passwd_corrupted st =
   let now = Fs.content st.fs target_file in

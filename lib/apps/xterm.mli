@@ -26,6 +26,11 @@ val logger_steps : config -> state Osmodel.Scheduler.step list
 
 val attacker_steps : state Osmodel.Scheduler.step list
 
+val bystander_steps : state Osmodel.Scheduler.step list
+(** An unrelated root daemon on [/var/cron/log] — footprint-disjoint
+    from the race, so partial-order reduction prunes its
+    interleavings and its stat-then-read pair must not be flagged. *)
+
 val passwd_corrupted : state -> Outcome.t option
 (** [Some (File_overwritten ...)] when Tom's data reached
     [/etc/passwd]. *)

@@ -48,34 +48,52 @@ let join ~cwd path =
 
 let node_opt t path = Hashtbl.find_opt t.nodes path
 
+(* Every public operation reports its accesses to the ambient
+   [Effect] observer (a no-op unless the footprint-soundness harness
+   installed one): attribute reads for resolution/stat-style queries,
+   write-like records for every mutation of content or binding. *)
+let observe_attr p = Effect.record (Effect.reads (Effect.Path_attr p))
+
 let resolve t ?(cwd = "/") path =
+  let origin = join ~cwd path in
+  observe_attr origin;
   let rec follow p depth =
     if depth > 16 then raise (Fs_error (Too_many_links p));
     match node_opt t p with
     | Some (Symlink target) -> follow (join ~cwd:(Filename.dirname p) target) (depth + 1)
     | Some (File _) | None -> p
   in
-  follow (join ~cwd path) 0
+  let final = follow origin 0 in
+  if final <> origin then observe_attr final;
+  final
 
 let mkfile t path ~owner ~mode ?(kind = Regular_file) content =
   let p = normalise path in
   if Hashtbl.mem t.nodes p then raise (Fs_error (Already_exists p));
+  Effect.record (Effect.creates (Effect.Path p));
   Hashtbl.replace t.nodes p (File { content; kind; owner; mode })
 
 let symlink t ~link ~target =
   let p = normalise link in
   if Hashtbl.mem t.nodes p then raise (Fs_error (Already_exists p));
+  Effect.record (Effect.creates (Effect.Path p));
   Hashtbl.replace t.nodes p (Symlink target)
 
 let unlink t path ~as_user:_ =
   let p = normalise path in
   if not (Hashtbl.mem t.nodes p) then raise (Fs_error (Not_found_ p));
+  Effect.record (Effect.unlinks (Effect.Path p));
   Hashtbl.remove t.nodes p
 
-let exists t path = Hashtbl.mem t.nodes (normalise path)
+let exists t path =
+  let p = normalise path in
+  observe_attr p;
+  Hashtbl.mem t.nodes p
 
 let is_symlink t path =
-  match node_opt t (normalise path) with
+  let p = normalise path in
+  observe_attr p;
+  match node_opt t p with
   | Some (Symlink _) -> true
   | Some (File _) | None -> false
 
@@ -93,7 +111,8 @@ let owner_of t path = let _, f = file_exn t path in f.owner
 let mode_of t path = let _, f = file_exn t path in f.mode
 
 let chmod t path mode =
-  let _, f = file_exn t path in
+  let p, f = file_exn t path in
+  Effect.record (Effect.chmods (Effect.Path_attr p));
   f.mode <- mode
 
 let access_write t path ~as_user =
@@ -113,6 +132,7 @@ let open_write t ?(cwd = "/") path ~as_user =
          raise (Fs_error (Permission_denied p))
    | Some (Symlink _) -> raise (Fs_error (Too_many_links p))
    | None ->
+       Effect.record (Effect.creates (Effect.Path p));
        Hashtbl.replace t.nodes p
          (File { content = ""; kind = Regular_file; owner = as_user;
                  mode = Perm.of_octal 0o644 }));
@@ -125,10 +145,13 @@ let fd_file t fd =
   | Some (File f) -> f
   | Some (Symlink _) | None -> raise (Fs_error (Not_found_ fd.fd_path))
 
-let write t fd data = (fd_file t fd).content <- data
+let write t fd data =
+  Effect.record (Effect.writes (Effect.Path fd.fd_path));
+  (fd_file t fd).content <- data
 
 let append t fd data =
   let f = fd_file t fd in
+  Effect.record (Effect.writes (Effect.Path fd.fd_path));
   f.content <- f.content ^ data
 
 let read t path ~as_user =
@@ -137,6 +160,7 @@ let read t path ~as_user =
     Fault.Condition.fail (Fault.Condition.Fs_denied { path = p });
   if not (Perm.can_read f.mode ~owner:f.owner ~as_user) then
     raise (Fs_error (Permission_denied p));
+  Effect.record (Effect.reads (Effect.Path p));
   f.content
 
 let content t path =

@@ -1,6 +1,8 @@
-type 'st step = { label : string; run : 'st -> unit }
+type 'st step = { label : string; effects : Effect.t list; run : 'st -> unit }
 
-let step label run = { label; run }
+let step label run = { label; effects = []; run }
+
+let step_e label ~effects run = { label; effects; run }
 
 (* Lazy enumeration of the merges, in the same order the eager list
    version produced: all merges starting with [x] before all merges
@@ -44,7 +46,11 @@ let interleaving_count n m =
 
 type 'r verdict = { schedule : string list; result : 'r }
 
-type 'r exploration = { verdicts : 'r verdict list; coverage : Fault.Budget.coverage }
+type 'r exploration = {
+  verdicts : 'r verdict list;
+  coverage : Fault.Budget.coverage;
+  explored : int;
+}
 
 (* The scheduler's own fault seam: a perturbed schedule drops or
    replays one step before running. *)
@@ -55,13 +61,16 @@ let perturb steps =
   | Some (Fault.Injector.Dup_step i) ->
       List.concat (List.mapi (fun j s -> if j = i then [ s; s ] else [ s ]) steps)
 
-let run_schedules_seq ?budget ~init ~check ~total schedules =
+let run_schedules ?budget ~init ~check ~total schedules =
   let budget = match budget with Some b -> b | None -> Fault.Budget.unlimited () in
   let covered = ref 0 in
   let verdicts = ref [] in
+  (* [drained] distinguishes "enumerated every schedule" from "the
+     budget stopped us": under partial-order reduction the number of
+     schedules run is below [total] even when coverage is complete. *)
   let rec go seq =
     match seq () with
-    | Seq.Nil -> ()
+    | Seq.Nil -> true
     | Seq.Cons (steps, rest) ->
         if Fault.Budget.take budget then begin
           incr covered;
@@ -70,7 +79,12 @@ let run_schedules_seq ?budget ~init ~check ~total schedules =
           let ran =
             List.map
               (fun s ->
-                 (try s.run st with _ -> ());
+                 (* A failed syscall does not stop the attacker: the
+                    osmodel's typed errors are no-ops for that step.
+                    Programming errors (Invalid_argument, Failure, ...)
+                    propagate — swallowing them hid real bugs. *)
+                 (try s.run st with
+                  | Filesystem.Fs_error _ | Fault.Condition.Simulated _ -> ());
                  s.label)
               steps
           in
@@ -79,15 +93,58 @@ let run_schedules_seq ?budget ~init ~check ~total schedules =
            | None -> ());
           go rest
         end
+        else false
   in
-  go schedules;
+  let drained = go schedules in
   { verdicts = List.rev !verdicts;
-    coverage = Fault.Budget.coverage ~covered:!covered ~total }
+    explored = !covered;
+    coverage =
+      (if drained then Fault.Budget.Complete
+       else Fault.Budget.coverage ~covered:!covered ~total) }
 
-let explore ?budget ~init ~a ~b ~check () =
-  run_schedules_seq ?budget ~init ~check
-    ~total:(interleaving_count (List.length a) (List.length b))
-    (interleavings_seq a b)
+(* ---- sleep-set partial-order reduction ---------------------------- *)
+
+(* Godefroid-style sleep sets over the tree of remaining suffixes.  A
+   "transition" is the head step of one process; the state space is
+   acyclic (every step consumes one element of one suffix), for which
+   sleep sets alone preserve every terminal state: each Mazurkiewicz
+   trace keeps at least one representative, so any property of the
+   final state ([check]) is decided exactly as under full enumeration.
+
+   At a node, transitions are explored in process order; exploring
+   process [i] passes the child the sleep set
+     { j in sleep ∪ explored-before-i | step_j independent of step_i }
+   and a node whose enabled transitions are all asleep emits nothing —
+   its schedules are permutations of branches already explored. *)
+let schedules_por ~independent procs =
+  let procs = Array.of_list (List.filter (fun p -> p <> []) procs) in
+  let n = Array.length procs in
+  let indices = List.init n Fun.id in
+  let rec go rem sleep () =
+    let enabled = List.filter (fun i -> rem.(i) <> []) indices in
+    if enabled = [] then Seq.Cons ([], Seq.empty)
+    else begin
+      let rec branches explored = function
+        | [] -> Seq.Nil
+        | i :: rest when List.mem i sleep -> branches explored rest
+        | i :: rest ->
+            let s = List.hd rem.(i) in
+            let rem' = Array.copy rem in
+            rem'.(i) <- List.tl rem.(i);
+            let child_sleep =
+              List.filter
+                (fun j -> independent (List.hd rem.(j)).effects s.effects)
+                (sleep @ List.rev explored)
+            in
+            Seq.append
+              (Seq.map (fun sched -> s :: sched) (go rem' child_sleep))
+              (fun () -> branches (i :: explored) rest)
+              ()
+      in
+      branches [] enabled
+    end
+  in
+  go procs []
 
 (* Pick the head of any non-empty sequence as the next step, recurse. *)
 let rec merge_all_seq seqs () =
@@ -112,6 +169,11 @@ let interleavings_n_seq seqs = merge_all_seq seqs
 
 let interleavings_n seqs = List.of_seq (merge_all_seq seqs)
 
+let schedules_n ?independent procs =
+  match independent with
+  | None -> interleavings_n_seq procs
+  | Some indep -> schedules_por ~independent:indep procs
+
 let mul_sat a b = if a <> 0 && b > max_int / a then max_int else a * b
 
 let interleaving_count_n lengths =
@@ -122,7 +184,25 @@ let interleaving_count_n lengths =
   in
   go 1 0 lengths
 
-let explore_n ?budget ~init ~procs ~check () =
-  run_schedules_seq ?budget ~init ~check
-    ~total:(interleaving_count_n (List.map List.length procs))
-    (interleavings_n_seq procs)
+let por_pruned = lazy (Obs.Metrics.counter "scheduler.por_pruned")
+
+let record_pruning ~independent ~total exploration =
+  (if independent <> None && total < max_int
+      && Fault.Budget.complete exploration.coverage then
+     Obs.Metrics.add (Lazy.force por_pruned) (total - exploration.explored));
+  exploration
+
+let explore ?budget ?independent ~init ~a ~b ~check () =
+  let total = interleaving_count (List.length a) (List.length b) in
+  let schedules =
+    match independent with
+    | None -> interleavings_seq a b
+    | Some indep -> schedules_por ~independent:indep [ a; b ]
+  in
+  record_pruning ~independent ~total
+    (run_schedules ?budget ~init ~check ~total schedules)
+
+let explore_n ?budget ?independent ~init ~procs ~check () =
+  let total = interleaving_count_n (List.map List.length procs) in
+  record_pruning ~independent ~total
+    (run_schedules ?budget ~init ~check ~total (schedules_n ?independent procs))

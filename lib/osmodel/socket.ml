@@ -5,6 +5,7 @@ let of_string data = { data; pos = 0 }
 let recv t n =
   if n <= 0 then ""
   else begin
+    Effect.record (Effect.reads Effect.Socket_stream);
     let n = Fault.Hooks.recv_request ~requested:n ~consumed:t.pos in
     let available = String.length t.data - t.pos in
     let take = min n available in

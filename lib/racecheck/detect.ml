@@ -1,0 +1,70 @@
+module E = Osmodel.Effect
+module Sched = Osmodel.Scheduler
+
+(* Objects whose attributes the step checks: an attr read on a key
+   the step itself never mutates.  Excluding self-mutating steps
+   keeps an atomic stat-and-open (the footprint of an [O_NOFOLLOW]
+   open, say) from being reported as its own check. *)
+let attr_checks step =
+  step.Sched.effects
+  |> List.filter_map (fun e ->
+         match e with
+         | { E.action = E.Reads; obj = E.Path_attr p } ->
+             let k = E.key e in
+             if
+               List.exists
+                 (fun f -> E.write_like f.E.action && String.equal (E.key f) k)
+                 step.Sched.effects
+             then None
+             else Some (p, k)
+         | _ -> None)
+  |> List.sort_uniq compare
+
+let touches k step =
+  List.exists (fun f -> String.equal (E.key f) k) step.Sched.effects
+
+let mutates k step =
+  List.exists
+    (fun f -> E.write_like f.E.action && String.equal (E.key f) k)
+    step.Sched.effects
+
+let scan ~app procs =
+  let procs = Array.of_list (List.map Array.of_list procs) in
+  let findings = ref [] in
+  Array.iteri
+    (fun pi steps ->
+      Array.iteri
+        (fun si s ->
+          List.iter
+            (fun (obj, k) ->
+              (* the first later same-process step touching the key is
+                 the use; anything between check and use is inside the
+                 window by construction *)
+              let use = ref None in
+              for ui = Array.length steps - 1 downto si + 1 do
+                if touches k steps.(ui) then use := Some ui
+              done;
+              match !use with
+              | None -> ()
+              | Some ui ->
+                  Array.iteri
+                    (fun wi wsteps ->
+                      if wi <> pi then
+                        Array.iteri
+                          (fun wsi w ->
+                            if mutates k w then
+                              findings :=
+                                { Finding.app; obj;
+                                  check = s.Sched.label;
+                                  use = steps.(ui).Sched.label;
+                                  writer = w.Sched.label;
+                                  check_proc = pi; check_idx = si;
+                                  use_idx = ui;
+                                  writer_proc = wi; writer_idx = wsi }
+                                :: !findings)
+                          wsteps)
+                    procs)
+            (attr_checks s))
+        steps)
+    procs;
+  List.rev !findings

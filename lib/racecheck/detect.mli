@@ -1,0 +1,19 @@
+(** The static TOCTTOU scan over declared step footprints.
+
+    A finding is emitted for every triple (check, use, writer):
+    - {b check}: a step reads [Path_attr o] and has no write-like
+      effect on [o]'s key itself;
+    - {b use}: the first later step of the {e same} process with any
+      effect on [o]'s key;
+    - {b writer}: any step of a {e different} process with a
+      write-like effect on [o]'s key.
+
+    Purely syntactic over footprints — no step is executed.  Sound
+    w.r.t. declared footprints (every TOCTTOU expressible in them is
+    flagged); precision comes from the dynamic confirmation pass in
+    {!Driver}. *)
+
+val scan :
+  app:string -> 'st Osmodel.Scheduler.step list list -> Finding.t list
+(** Findings in deterministic order: by checking process, then check
+    step index, then object, then writer position. *)

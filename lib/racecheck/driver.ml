@@ -1,0 +1,168 @@
+module E = Osmodel.Effect
+module Sched = Osmodel.Scheduler
+
+let default_budget = 512
+
+type status =
+  | Confirmed of { schedule : string list; explored : int }
+  | Refuted of { explored : int }
+  | Unresolved of { explored : int; total : int }
+
+type checked = { finding : Finding.t; status : status }
+
+type instance_report = {
+  instance : string;
+  app : string;
+  total : int;
+  findings : checked list;
+}
+
+type report = {
+  budget : int;
+  por : bool;
+  instances : instance_report list;
+}
+
+let findings_counter = lazy (Obs.Metrics.counter "racecheck.findings")
+
+(* Shares the scheduler's counter by name (registration is
+   idempotent): schedules the replay did not have to run relative to
+   full enumeration of the instance. *)
+let por_pruned = lazy (Obs.Metrics.counter "scheduler.por_pruned")
+
+(* Position of the (unique) label in a schedule. *)
+let pos label sched =
+  let rec go i = function
+    | [] -> None
+    | s :: rest ->
+        if String.equal s.Sched.label label then Some i else go (i + 1) rest
+  in
+  go 0 sched
+
+(* Restrict replay to schedules realising the flagged window: writer
+   strictly between check and use.  The writer conflicts with both
+   endpoints, so their relative order is invariant across a
+   Mazurkiewicz trace — filtering partial-order-reduced
+   representatives loses no windowed trace. *)
+let in_window (f : Finding.t) sched =
+  match (pos f.check sched, pos f.writer sched, pos f.use sched) with
+  | Some c, Some w, Some u -> c < w && w < u
+  | _ -> false
+
+let confirm ~budget ~por ~init ~procs ~corrupted (f : Finding.t) =
+  let independent = if por then Some E.independent else None in
+  let total = Sched.interleaving_count_n (List.map List.length procs) in
+  let schedules =
+    Seq.filter (in_window f) (Sched.schedules_n ?independent procs)
+  in
+  let r =
+    Sched.run_schedules ~budget:(Fault.Budget.of_fuel budget) ~init
+      ~check:corrupted ~total schedules
+  in
+  if por && total < max_int && Fault.Budget.complete r.Sched.coverage then
+    Obs.Metrics.add (Lazy.force por_pruned) (total - r.Sched.explored);
+  match r.Sched.verdicts with
+  | v :: _ ->
+      Confirmed { schedule = v.Sched.schedule; explored = r.Sched.explored }
+  | [] ->
+      if Fault.Budget.complete r.Sched.coverage then
+        Refuted { explored = r.Sched.explored }
+      else Unresolved { explored = r.Sched.explored; total }
+
+let analyze_instance ~budget ~por inst =
+  match inst with
+  | Instances.I { name; app; init; procs; corrupted } ->
+      let findings = Detect.scan ~app procs in
+      Obs.Metrics.add (Lazy.force findings_counter) (List.length findings);
+      let total = Sched.interleaving_count_n (List.map List.length procs) in
+      let findings =
+        List.map
+          (fun f ->
+            { finding = f;
+              status = confirm ~budget ~por ~init ~procs ~corrupted f })
+          findings
+      in
+      { instance = name; app; total; findings }
+
+let analyze ?(budget = default_budget) ?(por = false) ?app () =
+  let instances = Instances.select ?app () in
+  { budget; por;
+    instances =
+      Par.map_list ~label:"racecheck" (analyze_instance ~budget ~por) instances }
+
+let confirmed report =
+  List.exists
+    (fun ir ->
+      List.exists
+        (fun c -> match c.status with Confirmed _ -> true | _ -> false)
+        ir.findings)
+    report.instances
+
+(* ---- rendering ---------------------------------------------------- *)
+
+let esc = Obs.Metrics.json_escape
+
+let status_to_json = function
+  | Confirmed { schedule; explored } ->
+      Printf.sprintf "\"status\":\"confirmed\",\"explored\":%d,\"schedule\":[%s]"
+        explored
+        (String.concat ","
+           (List.map (fun l -> Printf.sprintf "\"%s\"" (esc l)) schedule))
+  | Refuted { explored } ->
+      Printf.sprintf "\"status\":\"refuted\",\"explored\":%d" explored
+  | Unresolved { explored; total } ->
+      Printf.sprintf "\"status\":\"unresolved\",\"explored\":%d,\"total\":%d"
+        explored total
+
+let checked_to_json c =
+  let f = c.finding in
+  Printf.sprintf
+    "{\"object\":\"%s\",\"check\":\"%s\",\"use\":\"%s\",\"writer\":\"%s\",%s}"
+    (esc f.Finding.obj) (esc f.Finding.check) (esc f.Finding.use)
+    (esc f.Finding.writer) (status_to_json c.status)
+
+let instance_to_json ir =
+  Printf.sprintf
+    "{\"instance\":\"%s\",\"app\":\"%s\",\"interleavings\":%d,\"findings\":[%s]}"
+    (esc ir.instance) (esc ir.app) ir.total
+    (String.concat "," (List.map checked_to_json ir.findings))
+
+let to_json report =
+  Printf.sprintf
+    "{\"budget\":%d,\"por\":%b,\"confirmed\":%b,\"instances\":[%s]}"
+    report.budget report.por (confirmed report)
+    (String.concat "," (List.map instance_to_json report.instances))
+
+let pp_status ppf = function
+  | Confirmed { schedule; explored } ->
+      Format.fprintf ppf "CONFIRMED after %d windowed schedule%s@," explored
+        (if explored = 1 then "" else "s");
+      Format.fprintf ppf "    witness: %s"
+        (String.concat " ; " schedule)
+  | Refuted { explored } ->
+      Format.fprintf ppf
+        "refuted: no windowed schedule corrupts state (%d replayed)" explored
+  | Unresolved { explored; total } ->
+      Format.fprintf ppf
+        "UNRESOLVED: budget exhausted after %d of up to %d schedules" explored
+        total
+
+let pp ppf report =
+  Format.fprintf ppf "@[<v>racecheck: budget=%d por=%b@," report.budget
+    report.por;
+  List.iter
+    (fun ir ->
+      Format.fprintf ppf "%s (%s, %d interleavings): %d finding%s@,"
+        ir.instance ir.app ir.total
+        (List.length ir.findings)
+        (if List.length ir.findings = 1 then "" else "s");
+      List.iter
+        (fun c ->
+          Format.fprintf ppf "  %s@,  - check:  %s@,  - use:    %s@,  - writer: %s@,  - %a@,"
+            c.finding.Finding.obj c.finding.Finding.check
+            c.finding.Finding.use c.finding.Finding.writer pp_status c.status)
+        ir.findings)
+    report.instances;
+  Format.fprintf ppf "verdict: %s@]"
+    (if confirmed report then "CONFIRMED race(s) present"
+     else "no confirmed race")

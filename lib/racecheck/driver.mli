@@ -1,0 +1,59 @@
+(** Static race scan + dynamic confirmation.
+
+    Mirrors the [staticcheck → Validate] bridge: {!Detect.scan}
+    flags candidate TOCTTOU windows from declared footprints, then
+    each finding is {e replayed} — the scheduler enumerates only the
+    schedules realising the flagged window (writer strictly between
+    check and use) and evaluates the instance's compromise
+    predicate.  A finding is [Confirmed] by a witness schedule,
+    [Refuted] when the window was exhausted without compromise, and
+    [Unresolved] when the budget ran out first.
+
+    With [~por:true] the window is enumerated over sleep-set
+    representatives ({!Osmodel.Scheduler.schedules_n}); the window
+    predicate is trace-invariant (the writer conflicts with both
+    endpoints), so reduction changes only how many schedules are
+    replayed, never the verdict. *)
+
+type status =
+  | Confirmed of { schedule : string list; explored : int }
+      (** witness schedule (executed step labels) *)
+  | Refuted of { explored : int }
+      (** the whole window was replayed; no schedule compromises *)
+  | Unresolved of { explored : int; total : int }
+      (** budget exhausted; [total] is the unreduced interleaving
+          count of the instance *)
+
+type checked = { finding : Finding.t; status : status }
+
+type instance_report = {
+  instance : string;
+  app : string;
+  total : int;  (** unreduced interleaving count *)
+  findings : checked list;
+}
+
+type report = {
+  budget : int;
+  por : bool;
+  instances : instance_report list;
+}
+
+val default_budget : int
+(** 512 replayed schedules per finding — enough for the stock
+    instances under reduction, deliberately below their unreduced
+    window sizes (see EXPERIMENTS.md RACE). *)
+
+val analyze : ?budget:int -> ?por:bool -> ?app:string -> unit -> report
+(** Scan and confirm every registered instance (or one app's).
+    Instances are analysed through [Par.map_list]: deterministic,
+    byte-identical output for every [DFSM_JOBS].  Bumps the
+    [racecheck.findings] counter per static finding. *)
+
+val confirmed : report -> bool
+(** At least one finding is [Confirmed] — drives the CLI exit code. *)
+
+val to_json : report -> string
+(** Single-line deterministic JSON. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,18 @@
+type t = {
+  app : string;
+  obj : string;
+  check : string;
+  use : string;
+  writer : string;
+  check_proc : int;
+  check_idx : int;
+  use_idx : int;
+  writer_proc : int;
+  writer_idx : int;
+}
+
+let to_string f =
+  Printf.sprintf "%s: check %S then use %S on %s, concurrent writer %S"
+    f.app f.check f.use f.obj f.writer
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

@@ -1,0 +1,28 @@
+(** A statically flagged TOCTTOU window.
+
+    A step of one process reads an {e attribute} of object [obj]
+    (the check), a later step of the same process touches [obj]
+    again (the use), and a step of a concurrent process mutates
+    [obj] (the writer).  If the writer can land between check and
+    use, the checked attribute may be stale at use time — the
+    classic time-of-check-to-time-of-use shape of Figure 5.
+
+    A finding is only a {e candidate}: the driver replays the
+    flagged window under the scheduler to confirm or refute it. *)
+
+type t = {
+  app : string;  (** application the step system models *)
+  obj : string;  (** the raced object (a path) *)
+  check : string;  (** label of the checking step *)
+  use : string;  (** label of the using step *)
+  writer : string;  (** label of the concurrent mutating step *)
+  check_proc : int;  (** process index of check and use *)
+  check_idx : int;
+  use_idx : int;
+  writer_proc : int;
+  writer_idx : int;
+}
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

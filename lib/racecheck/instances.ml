@@ -1,0 +1,63 @@
+type t =
+  | I : {
+      name : string;
+      app : string;
+      init : unit -> 'st;
+      procs : 'st Osmodel.Scheduler.step list list;
+      corrupted : 'st -> Apps.Outcome.t option;
+    }
+      -> t
+
+let name (I i) = i.name
+
+let app (I i) = i.app
+
+let xterm ~nofollow =
+  I
+    { name = (if nofollow then "xterm+nofollow" else "xterm");
+      app = "xterm";
+      init = Apps.Xterm.fresh_state;
+      procs =
+        [ Apps.Xterm.logger_steps { Apps.Xterm.open_nofollow = nofollow };
+          Apps.Xterm.attacker_steps;
+          Apps.Xterm.bystander_steps ];
+      corrupted = Apps.Xterm.passwd_corrupted }
+
+let rwall ~ttycheck =
+  I
+    { name = (if ttycheck then "rwall+ttycheck" else "rwall");
+      app = "rwall";
+      init = Apps.Rwall.race_fresh;
+      procs =
+        [ Apps.Rwall.daemon_steps { Apps.Rwall.recheck_at_open = ttycheck };
+          Apps.Rwall.mallory_steps;
+          Apps.Rwall.race_bystander_steps ];
+      corrupted = Apps.Rwall.race_corrupted }
+
+let rpcstatd =
+  I
+    { name = "rpcstatd";
+      app = "rpcstatd";
+      init = Apps.Rpc_statd.race_fresh;
+      procs = [ Apps.Rpc_statd.server_steps; Apps.Rpc_statd.client_steps ];
+      corrupted = Apps.Rpc_statd.race_compromised }
+
+let ghttpd =
+  I
+    { name = "ghttpd";
+      app = "ghttpd";
+      init = Apps.Ghttpd.race_fresh;
+      procs = [ Apps.Ghttpd.server_steps; Apps.Ghttpd.client_steps ];
+      corrupted = Apps.Ghttpd.race_compromised }
+
+let all =
+  [ xterm ~nofollow:false; xterm ~nofollow:true;
+    rwall ~ttycheck:false; rwall ~ttycheck:true;
+    rpcstatd; ghttpd ]
+
+let apps = [ "xterm"; "rwall"; "rpcstatd"; "ghttpd" ]
+
+let select ?app:restrict () =
+  match restrict with
+  | None -> all
+  | Some a -> List.filter (fun i -> String.equal (app i) a) all

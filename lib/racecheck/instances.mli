@@ -1,0 +1,34 @@
+(** The registered step systems the race analysis runs on.
+
+    Each instance packages an application's concurrent step lists
+    with a fresh-state constructor and the compromise predicate its
+    replay confirmation checks.  Stock vulnerable variants sit next
+    to their hardened counterparts ([+nofollow], [+ttycheck]) so the
+    driver demonstrates both a confirmed and a refuted verdict on
+    the same static finding, and next to the memory-error apps
+    (rpc.statd, ghttpd) whose footprints contain no path attribute
+    reads — the detector must stay silent there. *)
+
+type t =
+  | I : {
+      name : string;  (** instance name, e.g. ["xterm+nofollow"] *)
+      app : string;  (** application, one of {!apps} *)
+      init : unit -> 'st;
+      procs : 'st Osmodel.Scheduler.step list list;
+      corrupted : 'st -> Apps.Outcome.t option;
+    }
+      -> t
+
+val name : t -> string
+
+val app : t -> string
+
+val all : t list
+(** Deterministic order: xterm, xterm+nofollow, rwall,
+    rwall+ttycheck, rpcstatd, ghttpd. *)
+
+val apps : string list
+(** Valid [--app] arguments: ["xterm"; "rwall"; "rpcstatd"; "ghttpd"]. *)
+
+val select : ?app:string -> unit -> t list
+(** All instances, or only those of one application. *)

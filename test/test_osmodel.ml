@@ -202,15 +202,99 @@ let test_sched_explore_finds_window () =
   Alcotest.(check (list string)) "schedule recorded" [ "a1"; "b1"; "a2" ]
     (List.hd verdicts).Sched.schedule
 
-let test_sched_explore_swallows_step_errors () =
+let test_sched_explore_swallows_typed_errors () =
+  (* A step whose syscall fails with one of the osmodel's typed errors
+     is a no-op for that process — the exploration continues. *)
   let init () = ref 0 in
-  let a = [ Sched.step "boom" (fun _ -> failwith "boom") ] in
+  let a =
+    [ Sched.step "enoent" (fun _ ->
+          raise (Fs.Fs_error (Fs.Not_found_ "/no/such/file"))) ]
+  in
   let b = [ Sched.step "inc" (fun r -> incr r) ] in
   let verdicts =
     (Sched.explore ~init ~a ~b ~check:(fun r -> if !r = 1 then Some () else None) ())
       .Sched.verdicts
   in
   Alcotest.(check int) "both schedules complete" 2 (List.length verdicts)
+
+let test_sched_explore_propagates_programming_errors () =
+  (* Swallowing every exception used to hide real bugs: anything that
+     is not a typed osmodel error must escape the exploration. *)
+  let init () = ref 0 in
+  let a = [ Sched.step "bug" (fun _ -> invalid_arg "broken step") ] in
+  let b = [ Sched.step "inc" (fun r -> incr r) ] in
+  match Sched.explore ~init ~a ~b ~check:(fun _ -> None) () with
+  | _ -> Alcotest.fail "Invalid_argument was swallowed"
+  | exception Invalid_argument _ -> ()
+
+let test_sched_interleaving_count_n_edges () =
+  Alcotest.(check int) "no processes" 1 (Sched.interleaving_count_n []);
+  Alcotest.(check int) "single process" 1 (Sched.interleaving_count_n [ 5 ]);
+  Alcotest.(check int) "empty processes" 1 (Sched.interleaving_count_n [ 0; 0 ]);
+  Alcotest.(check int) "3!/(1!1!1!)" 6 (Sched.interleaving_count_n [ 1; 1; 1 ]);
+  Alcotest.(check int) "matches 2-proc count" (Sched.interleaving_count 3 2)
+    (Sched.interleaving_count_n [ 3; 2 ]);
+  Alcotest.(check bool) "saturates" true
+    (max_int = Sched.interleaving_count_n [ 33; 33 ]);
+  match Sched.interleaving_count_n [ 2; -1 ] with
+  | _ -> Alcotest.fail "negative length accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- partial-order reduction ------------------------------------- *)
+
+module E = Osmodel.Effect
+
+let append_step name cell =
+  Sched.step_e name
+    ~effects:[ E.writes (E.Mem cell) ]
+    (fun log -> log := name :: !log)
+
+let test_sched_por_prunes_independent () =
+  (* Two processes on disjoint cells: every interleaving reaches the
+     same final state, so sleep sets keep exactly one schedule. *)
+  let a = [ append_step "a1" "x"; append_step "a2" "x" ] in
+  let b = [ append_step "b1" "y" ] in
+  let count seq = Seq.fold_left (fun n _ -> n + 1) 0 seq in
+  Alcotest.(check int) "full enumeration has 3" 3
+    (count (Sched.schedules_n [ a; b ]));
+  Alcotest.(check int) "reduction keeps 1" 1
+    (count (Sched.schedules_n ~independent:E.independent [ a; b ]))
+
+let test_sched_por_keeps_conflicting () =
+  (* Same cell: nothing commutes, reduction must keep all schedules. *)
+  let a = [ append_step "a1" "x"; append_step "a2" "x" ] in
+  let b = [ append_step "b1" "x" ] in
+  let count seq = Seq.fold_left (fun n _ -> n + 1) 0 seq in
+  Alcotest.(check int) "reduction keeps all 3" 3
+    (count (Sched.schedules_n ~independent:E.independent [ a; b ]))
+
+let test_sched_por_preserves_final_states () =
+  (* A conflicting pair plus an independent spectator: the reduced
+     verdict set over final states equals the full one. *)
+  let mk name cell f = Sched.step_e name ~effects:[ E.writes (E.Mem cell) ] f in
+  let procs =
+    [ [ mk "a1" "x" (fun (x, _) -> x := (!x * 3) + 1);
+        mk "a2" "x" (fun (x, _) -> x := (!x * 3) + 2) ];
+      [ mk "b1" "x" (fun (x, _) -> x := (!x * 3) + 3) ];
+      [ mk "c1" "y" (fun (_, y) -> y := !y + 7) ] ]
+  in
+  let init () = (ref 0, ref 0) in
+  let check (x, y) = Some (!x, !y) in
+  let finals r =
+    r.Sched.verdicts
+    |> List.map (fun v -> v.Sched.result)
+    |> List.sort_uniq compare
+  in
+  let full = Sched.explore_n ~init ~procs ~check () in
+  let reduced =
+    Sched.explore_n ~independent:E.independent ~init ~procs ~check ()
+  in
+  Alcotest.(check (list (pair int int)))
+    "same final states" (finals full) (finals reduced);
+  Alcotest.(check bool) "reduction ran fewer schedules" true
+    (reduced.Sched.explored < full.Sched.explored);
+  Alcotest.(check bool) "reduced run is still complete" true
+    (Fault.Budget.complete reduced.Sched.coverage)
 
 (* ---- socket ------------------------------------------------------ *)
 
@@ -279,9 +363,20 @@ let () =
          Alcotest.test_case "exhaustive merges" `Quick
            test_sched_interleavings_exhaustive;
          QCheck_alcotest.to_alcotest prop_interleavings_preserve_order;
+         Alcotest.test_case "n-proc count edges" `Quick
+           test_sched_interleaving_count_n_edges;
          Alcotest.test_case "finds the window" `Quick test_sched_explore_finds_window;
-         Alcotest.test_case "swallows step errors" `Quick
-           test_sched_explore_swallows_step_errors ]);
+         Alcotest.test_case "swallows typed step errors" `Quick
+           test_sched_explore_swallows_typed_errors;
+         Alcotest.test_case "propagates programming errors" `Quick
+           test_sched_explore_propagates_programming_errors ]);
+      ("partial-order reduction",
+       [ Alcotest.test_case "prunes independent" `Quick
+           test_sched_por_prunes_independent;
+         Alcotest.test_case "keeps conflicting" `Quick
+           test_sched_por_keeps_conflicting;
+         Alcotest.test_case "preserves final states" `Quick
+           test_sched_por_preserves_final_states ]);
       ("socket",
        [ Alcotest.test_case "chunked recv" `Quick test_socket_chunked_recv;
          Alcotest.test_case "remaining" `Quick test_socket_remaining;

@@ -1,0 +1,288 @@
+(* The race-analysis pass: footprint soundness (every dynamic access a
+   step performs is contained in its declared static footprint, on
+   every schedule), the static TOCTTOU scan, and the replay bridge
+   that confirms or refutes each finding. *)
+
+module Sched = Osmodel.Scheduler
+module E = Osmodel.Effect
+module Fs = Osmodel.Filesystem
+module D = Racecheck.Driver
+
+(* ---- footprint soundness ----------------------------------------- *)
+
+(* Replay every (unreduced) schedule of an instance with the dynamic
+   observer installed around each step, and fail on any access the
+   step's declared footprint does not cover.  Exhaustive — the
+   property partial-order reduction relies on, checked on the exact
+   systems the detector analyses. *)
+let check_instance_footprints inst =
+  match inst with
+  | Racecheck.Instances.I { name; init; procs; _ } ->
+      Seq.iter
+        (fun steps ->
+          let st = init () in
+          List.iter
+            (fun s ->
+              let bad = ref [] in
+              (try
+                 E.with_observer
+                   (fun access ->
+                     if not (E.covered_by access s.Sched.effects) then
+                       bad := access :: !bad)
+                   (fun () -> s.Sched.run st)
+               with Fs.Fs_error _ | Fault.Condition.Simulated _ -> ());
+              match !bad with
+              | [] -> ()
+              | accesses ->
+                  Alcotest.failf "%s: step %S performed undeclared %s" name
+                    s.Sched.label
+                    (String.concat ", " (List.map E.to_string accesses)))
+            steps)
+        (Sched.schedules_n procs)
+
+let test_footprints_sound () =
+  List.iter check_instance_footprints Racecheck.Instances.all
+
+let test_footprints_catch_undeclared () =
+  (* The harness itself must be able to fail: a step whose footprint
+     omits its write is flagged. *)
+  let lying =
+    Sched.step_e "liar" ~effects:[ E.reads (E.Path_attr "/f") ] (fun fs ->
+        Fs.mkfile fs "/f" ~owner:Osmodel.User.Root
+          ~mode:(Osmodel.Perm.of_octal 0o644) "")
+  in
+  let caught = ref false in
+  let fs = Fs.create () in
+  E.with_observer
+    (fun access ->
+      if not (E.covered_by access lying.Sched.effects) then caught := true)
+    (fun () -> lying.Sched.run fs);
+  Alcotest.(check bool) "undeclared create detected" true !caught
+
+(* ---- effect algebra ---------------------------------------------- *)
+
+let test_effect_conflicts () =
+  let attr = E.reads (E.Path_attr "/a") in
+  let content_write = E.writes (E.Path "/a") in
+  let other = E.writes (E.Path "/b") in
+  Alcotest.(check bool) "attr read conflicts with content write" true
+    (E.conflicts attr content_write);
+  Alcotest.(check bool) "reads never conflict" false
+    (E.conflicts attr (E.reads (E.Path "/a")));
+  Alcotest.(check bool) "distinct paths independent" true
+    (E.independent [ attr ] [ other ]);
+  Alcotest.(check bool) "covers: read by write-like entry" true
+    (E.covered_by (E.reads (E.Path_attr "/a")) [ content_write ]);
+  Alcotest.(check bool) "covers: write needs write-like entry" false
+    (E.covered_by content_write [ attr ])
+
+(* ---- partial-order reduction equivalence ------------------------- *)
+
+(* Random small step systems over three shared cells and per-process
+   accumulators; writes are non-commutative (x*3+k) so conflicting
+   orders genuinely differ.  The reduced verdict set over final states
+   must equal full enumeration's — the soundness claim of sleep sets
+   for terminal-state properties. *)
+let prop_por_equals_full =
+  let open QCheck in
+  Test.make ~name:"por: verdict set equals full enumeration" ~count:300
+    (list_of_size
+       Gen.(2 -- 3)
+       (list_of_size Gen.(0 -- 2) (pair (int_range 0 2) (int_range 0 3))))
+    (fun spec ->
+      let procs =
+        List.mapi
+          (fun pi steps ->
+            List.mapi
+              (fun si (cell, k) ->
+                let label = Printf.sprintf "p%ds%d" pi si in
+                let cname = "c" ^ string_of_int cell in
+                if k = 0 then
+                  Sched.step_e label
+                    ~effects:
+                      [ E.reads (E.Mem cname);
+                        E.writes (E.Mem ("acc" ^ string_of_int pi)) ]
+                    (fun (cells, acc) ->
+                      acc.(pi) <- (acc.(pi) * 5) + cells.(cell) + 1)
+                else
+                  Sched.step_e label
+                    ~effects:[ E.writes (E.Mem cname) ]
+                    (fun (cells, _) -> cells.(cell) <- (cells.(cell) * 3) + k))
+              steps)
+          spec
+      in
+      let init () = (Array.make 3 0, Array.make 3 0) in
+      let check (cells, acc) = Some (Array.to_list cells, Array.to_list acc) in
+      let finals r =
+        r.Sched.verdicts
+        |> List.map (fun v -> v.Sched.result)
+        |> List.sort_uniq compare
+      in
+      finals (Sched.explore_n ~init ~procs ~check ())
+      = finals (Sched.explore_n ~independent:E.independent ~init ~procs ~check ()))
+
+(* ---- the static scan --------------------------------------------- *)
+
+let xterm_procs nofollow =
+  [ Apps.Xterm.logger_steps { Apps.Xterm.open_nofollow = nofollow };
+    Apps.Xterm.attacker_steps;
+    Apps.Xterm.bystander_steps ]
+
+let test_detect_xterm () =
+  let findings = Racecheck.Detect.scan ~app:"xterm" (xterm_procs false) in
+  Alcotest.(check int) "two findings (unlink, symlink writers)" 2
+    (List.length findings);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "raced object" "/usr/tom/x" f.Racecheck.Finding.obj;
+      Alcotest.(check string) "check step" "xterm: access(log, W_OK) as tom"
+        f.Racecheck.Finding.check;
+      Alcotest.(check string) "use step" "xterm: open(log) as root"
+        f.Racecheck.Finding.use)
+    findings
+
+let test_detect_bystander_silent () =
+  (* cron's stat-then-read pair has no foreign writer on its object:
+     the detector must not flag it. *)
+  let findings = Racecheck.Detect.scan ~app:"xterm" (xterm_procs false) in
+  Alcotest.(check bool) "no finding on /var/cron/log" true
+    (List.for_all
+       (fun f -> f.Racecheck.Finding.obj <> "/var/cron/log")
+       findings)
+
+let test_detect_memory_apps_silent () =
+  let scan app procs = Racecheck.Detect.scan ~app procs in
+  Alcotest.(check int) "rpcstatd" 0
+    (List.length
+       (scan "rpcstatd"
+          [ Apps.Rpc_statd.server_steps; Apps.Rpc_statd.client_steps ]));
+  Alcotest.(check int) "ghttpd" 0
+    (List.length
+       (scan "ghttpd" [ Apps.Ghttpd.server_steps; Apps.Ghttpd.client_steps ]))
+
+(* ---- the replay bridge ------------------------------------------- *)
+
+let kind = function
+  | D.Confirmed _ -> "confirmed"
+  | D.Refuted _ -> "refuted"
+  | D.Unresolved _ -> "unresolved"
+
+let instance_report r name =
+  List.find (fun ir -> String.equal ir.D.instance name) r.D.instances
+
+let kinds r name =
+  List.map (fun c -> kind c.D.status) (instance_report r name).D.findings
+
+let test_por_verdicts () =
+  let r = D.analyze ~por:true () in
+  Alcotest.(check (list string)) "xterm confirmed"
+    [ "confirmed"; "confirmed" ] (kinds r "xterm");
+  Alcotest.(check (list string)) "xterm+nofollow refuted"
+    [ "refuted"; "refuted" ] (kinds r "xterm+nofollow");
+  Alcotest.(check (list string)) "rwall confirmed"
+    [ "confirmed"; "confirmed" ] (kinds r "rwall");
+  Alcotest.(check (list string)) "rwall+ttycheck refuted"
+    [ "refuted"; "refuted" ] (kinds r "rwall+ttycheck");
+  Alcotest.(check (list string)) "rpcstatd no findings" [] (kinds r "rpcstatd");
+  Alcotest.(check (list string)) "ghttpd no findings" [] (kinds r "ghttpd");
+  Alcotest.(check bool) "report confirmed" true (D.confirmed r)
+
+let test_witness_realises_window () =
+  (* Every confirmed schedule must actually place the writer strictly
+     between check and use. *)
+  let r = D.analyze ~por:true () in
+  List.iter
+    (fun ir ->
+      List.iter
+        (fun c ->
+          match c.D.status with
+          | D.Confirmed { schedule; _ } ->
+              let pos l =
+                let rec go i = function
+                  | [] -> Alcotest.failf "label %S missing from witness" l
+                  | x :: rest -> if String.equal x l then i else go (i + 1) rest
+                in
+                go 0 schedule
+              in
+              let f = c.D.finding in
+              let ck = pos f.Racecheck.Finding.check
+              and w = pos f.Racecheck.Finding.writer
+              and u = pos f.Racecheck.Finding.use in
+              Alcotest.(check bool) "check < writer < use" true (ck < w && w < u)
+          | _ -> ())
+        ir.D.findings)
+    r.D.instances
+
+let test_plain_partial_por_complete () =
+  (* The headline: at the default budget, plain enumeration exhausts
+     fuel on the hardened instances (Partial) while reduction drains
+     the whole window (Complete) — same confirmed verdict. *)
+  let plain = D.analyze () in
+  let por = D.analyze ~por:true () in
+  let unresolved r name = List.mem "unresolved" (kinds r name) in
+  Alcotest.(check bool) "plain xterm+nofollow exhausts the budget" true
+    (unresolved plain "xterm+nofollow");
+  Alcotest.(check bool) "por xterm+nofollow is complete" false
+    (unresolved por "xterm+nofollow");
+  Alcotest.(check bool) "por rwall+ttycheck is complete" false
+    (unresolved por "rwall+ttycheck");
+  Alcotest.(check bool) "same top-level verdict" true
+    (Bool.equal (D.confirmed plain) (D.confirmed por))
+
+let test_counters () =
+  Obs.Metrics.reset ();
+  ignore (D.analyze ~por:true ());
+  let snap = Obs.Metrics.snapshot () in
+  let v name =
+    match List.assoc_opt name snap with
+    | Some (Obs.Metrics.Counter_v n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "racecheck.findings counts all eight" 8
+    (v "racecheck.findings");
+  Alcotest.(check bool) "scheduler.por_pruned recorded savings" true
+    (v "scheduler.por_pruned" > 0)
+
+let test_json_deterministic () =
+  let j1 = D.to_json (D.analyze ~por:true ()) in
+  let j2 = D.to_json (D.analyze ~por:true ()) in
+  Alcotest.(check string) "stable across runs" j1 j2;
+  Alcotest.(check bool) "single line" true
+    (not (String.contains j1 '\n'));
+  Alcotest.(check bool) "carries the verdict" true
+    (let needle = "\"confirmed\":true" in
+     let rec search i =
+       i + String.length needle <= String.length j1
+       && (String.equal (String.sub j1 i (String.length needle)) needle
+           || search (i + 1))
+     in
+     search 0)
+
+let test_app_restriction () =
+  let r = D.analyze ~por:true ~app:"ghttpd" () in
+  Alcotest.(check int) "one instance" 1 (List.length r.D.instances);
+  Alcotest.(check bool) "not confirmed" false (D.confirmed r)
+
+let () =
+  Alcotest.run "racecheck"
+    [ ("footprints",
+       [ Alcotest.test_case "sound on every instance schedule" `Quick
+           test_footprints_sound;
+         Alcotest.test_case "harness catches undeclared access" `Quick
+           test_footprints_catch_undeclared;
+         Alcotest.test_case "conflict/cover algebra" `Quick test_effect_conflicts ]);
+      ("por", [ QCheck_alcotest.to_alcotest prop_por_equals_full ]);
+      ("detect",
+       [ Alcotest.test_case "xterm findings" `Quick test_detect_xterm;
+         Alcotest.test_case "bystander silent" `Quick test_detect_bystander_silent;
+         Alcotest.test_case "memory apps silent" `Quick
+           test_detect_memory_apps_silent ]);
+      ("driver",
+       [ Alcotest.test_case "por verdicts" `Quick test_por_verdicts;
+         Alcotest.test_case "witness realises window" `Quick
+           test_witness_realises_window;
+         Alcotest.test_case "plain partial, por complete" `Quick
+           test_plain_partial_por_complete;
+         Alcotest.test_case "counters" `Quick test_counters;
+         Alcotest.test_case "json deterministic" `Quick test_json_deterministic;
+         Alcotest.test_case "app restriction" `Quick test_app_restriction ]) ]
