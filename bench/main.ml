@@ -7,7 +7,8 @@
    Run with: dune exec bench/main.exe -- [--smoke] [--json [FILE]]
 
    --smoke  runs the fast subset (figure-1 check, lint sweep, the
-            resilience and PAR sections) — the CI perf-trajectory step
+            resilience, PAR, OBS, SERVE and STORE sections) — the CI
+            perf-trajectory step
    --json   additionally writes every recorded metric as machine-
             readable JSON (default file: BENCH.json) *)
 
@@ -866,6 +867,83 @@ let serve_bench () =
   if not identical then
     Format.printf "  *** SERVE DETERMINISM VIOLATION ***@."
 
+(* ================= STORE: persistent result store ================= *)
+
+(* The cost model of the crash-consistent store over the lint corpus
+   sweep: a cold pass pays one record commit per corpus entry, a warm
+   pass replaces every analysis with a verified read, and a pass over
+   a fully corrupted store pays verification + eviction + recompute +
+   rewrite on every entry — the graceful-degradation worst case.  The
+   store-less sweep is the baseline all three compare against. *)
+let store_bench () =
+  section "STORE -- persistent result store (cold / warm / corrupt-degraded)";
+  let reps = if !smoke then 5 else 20 in
+  let sweep () = ignore (Staticcheck.Linter.corpus_sweep ()) in
+  let timed f =
+    let (), t = wall (fun () -> for _ = 1 to reps do f () done) in
+    t /. float_of_int reps
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let dir = Filename.temp_file "dfsm-bench-store" ".d" in
+  Sys.remove dir;
+  sweep ();  (* warm-up outside every timed region *)
+  let baseline = timed sweep in
+  let s = Store.Disk.open_ ~dir in
+  Fun.protect
+    ~finally:(fun () -> Store.Disk.close s; rm_rf dir)
+    (fun () ->
+      Store.Handle.with_store (Some s) (fun () ->
+          (* cold: every rep recommits (fresh store per rep would time
+             mkdir; evicting between reps isolates the write path) *)
+          let corrupt_all () =
+            List.iter
+              (fun k -> Store.Disk.note_corrupt s ~key:k)
+              (Store.Disk.manifest_keys s)
+          in
+          sweep ();
+          let cold = timed (fun () -> corrupt_all (); sweep ()) in
+          let warm = timed sweep in
+          (* corrupt-degraded: flip one byte of every record on disk,
+             so each read fails verification and recomputes *)
+          let tamper () =
+            List.iter
+              (fun k ->
+                let path = Store.Disk.record_path s ~key:k in
+                let img = In_channel.with_open_bin path In_channel.input_all in
+                let b = Bytes.of_string img in
+                let i = Bytes.length b - 1 in
+                Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+                Out_channel.with_open_bin path (fun oc ->
+                    Out_channel.output_bytes oc b))
+              (Store.Disk.manifest_keys s)
+          in
+          let degraded = timed (fun () -> tamper (); sweep ()) in
+          let st = Store.Disk.stats s in
+          Format.printf "corpus sweep, %d repetitions per mode:@." reps;
+          Format.printf "  store-less          %8.2f ms@." (baseline *. 1000.);
+          Format.printf "  cold (all writes)   %8.2f ms@." (cold *. 1000.);
+          Format.printf "  warm (all hits)     %8.2f ms  (x%.2f vs store-less)@."
+            (warm *. 1000.) (baseline /. warm);
+          Format.printf "  corrupt-degraded    %8.2f ms  (verify+evict+recompute+rewrite)@."
+            (degraded *. 1000.);
+          Format.printf
+            "  totals: %d hits, %d misses, %d corrupt, %d repaired, %d writes@."
+            st.Store.Disk.hits st.Store.Disk.misses st.Store.Disk.corrupt
+            st.Store.Disk.repaired st.Store.Disk.writes;
+          record ~section:"STORE" "sweep-storeless-ms" (baseline *. 1000.);
+          record ~section:"STORE" "sweep-cold-ms" (cold *. 1000.);
+          record ~section:"STORE" "sweep-warm-ms" (warm *. 1000.);
+          record ~section:"STORE" "sweep-corrupt-ms" (degraded *. 1000.);
+          record ~section:"STORE" "warm-speedup" (baseline /. warm);
+          record ~section:"STORE" "repaired" (float_of_int st.Store.Disk.repaired)))
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -1111,7 +1189,7 @@ let run_benchmarks () =
 let usage () =
   prerr_endline
     "usage: bench [--smoke] [--json [FILE]]\n\
-    \  --smoke        fast subset (figure 1, lint sweep, resilience, PAR, OBS)\n\
+    \  --smoke        fast subset (figure 1, lint sweep, resilience, PAR, OBS, SERVE, STORE)\n\
     \  --json [FILE]  also write metrics as JSON (default BENCH.json)";
   exit 2
 
@@ -1142,7 +1220,8 @@ let () =
     resilience ();
     par_bench ();
     obs_bench ();
-    serve_bench ()
+    serve_bench ();
+    store_bench ()
   end
   else begin
     fig1 ();
@@ -1172,6 +1251,7 @@ let () =
     par_bench ();
     obs_bench ();
     serve_bench ();
+    store_bench ();
     run_benchmarks ()
   end;
   (match !json_out with Some path -> write_json path | None -> ());

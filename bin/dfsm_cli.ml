@@ -40,16 +40,21 @@ let checkpoint_of ~default resume path =
   | false, None -> None
   | _, path ->
       let cp = Resilience.Checkpoint.load (Option.value path ~default) in
-      (match Resilience.Checkpoint.skipped_lines cp with
+      (match Resilience.Checkpoint.skipped_detail cp with
        | [] -> ()
        | lines ->
            (* a torn final line after a crash, or corruption: the
               affected items simply re-run; say so instead of hiding it *)
            Printf.eprintf
-             "warning: checkpoint journal: %d unparseable line(s) skipped \
-              (line %s); affected items will re-run\n%!"
+             "warning: checkpoint journal: %d damaged line(s) skipped (%s); \
+              affected items will re-run\n%!"
              (List.length lines)
-             (String.concat ", " (List.map string_of_int lines)));
+             (String.concat ", "
+                (List.map
+                   (fun (n, d) ->
+                     Printf.sprintf "line %d: %s" n
+                       (Resilience.Checkpoint.damage_to_string d))
+                   lines)));
       Some cp
 
 let sweep_finished cp report ~expected =
@@ -96,6 +101,23 @@ let with_obs ?trace ?metrics k =
   in
   Fun.protect ~finally:finish k
 
+(* ---- persistence -------------------------------------------------- *)
+
+(* [--store DIR] / $DFSM_STORE install the crash-consistent result
+   store for the duration of the command: memoized analysis traces and
+   lint reports are served from verified on-disk records and written
+   back on computation, so a warm store makes a rerun recompute
+   nothing — across processes.  Corruption, version skew and write
+   failures all degrade to recompute (counted in the store.* metrics),
+   never to a wrong answer or a crash. *)
+let with_store store k =
+  match store with
+  | None -> k ()
+  | Some dir -> (
+      match Store.Disk.open_ ~dir with
+      | disk -> Store.Handle.with_store (Some disk) k
+      | exception Sys_error msg -> `Error (false, "--store: " ^ msg))
+
 (* ---- parallelism -------------------------------------------------- *)
 
 (* Resolve the worker-domain count before the command body runs:
@@ -130,8 +152,9 @@ let dot app =
   print_string (Pfsm.Dot.of_model (model_of app));
   `Ok 0
 
-let exploit_cmd jobs resume checkpoint stop_after trace metrics =
+let exploit_cmd jobs store resume checkpoint stop_after trace metrics =
   with_jobs jobs @@ fun () ->
+  with_store store @@ fun () ->
   with_obs ?trace ?metrics @@ fun () ->
   if supervising resume checkpoint stop_after then begin
     let cp = checkpoint_of ~default:".dfsm-exploit.checkpoint" resume checkpoint in
@@ -191,27 +214,50 @@ let lemma () =
    summary: per-pFSM transition coverage over every application's
    scenarios — the Figure-8 taxonomy as a measured quantity — and the
    runtime metrics snapshot the sweep accumulated. *)
-let metrics jobs json =
+let metrics jobs store json =
   with_jobs jobs @@ fun () ->
+  with_store store @@ fun () ->
   Obs.Metrics.reset ();
+  Pfsm.Analysis.memo_reset ();
   let coverage =
     List.fold_left
       (fun acc app ->
         let report =
-          Pfsm.Analysis.analyze (model_of app) ~scenarios:(scenarios_of app)
+          Pfsm.Analysis.analyze ~memo:true (model_of app)
+            ~scenarios:(scenarios_of app)
         in
         Pfsm.Coverage.merge acc (Pfsm.Coverage.of_report report))
       Pfsm.Coverage.empty apps
   in
   let snap = Obs.Metrics.snapshot () in
+  let memo = Pfsm.Analysis.memo_stats () in
+  let store_stats = Option.map Store.Disk.stats (Store.Handle.get ()) in
   if json then
-    Printf.printf "{\"coverage\": %s, \"obs\": %s}\n"
+    Printf.printf "{\"coverage\": %s, \"memo\": {\"lookups\": %d, \"hits\": \
+                   %d, \"misses\": %d}%s, \"obs\": %s}\n"
       (Pfsm.Coverage.to_json coverage)
+      memo.Pfsm.Analysis.lookups memo.Pfsm.Analysis.hits
+      memo.Pfsm.Analysis.misses
+      (match store_stats with
+      | None -> ""
+      | Some s -> ", \"store\": " ^ Store.Disk.stats_to_json s)
       (Obs.Metrics.to_json snap)
   else begin
     let ms = List.map (fun a -> Pfsm.Metrics.of_model (model_of a)) apps in
     Format.printf "%a@." Pfsm.Metrics.pp_table ms;
     Format.printf "%a@." Pfsm.Coverage.pp coverage;
+    Format.printf "analysis memo: %d lookups, %d hits, %d misses@."
+      memo.Pfsm.Analysis.lookups memo.Pfsm.Analysis.hits
+      memo.Pfsm.Analysis.misses;
+    (match store_stats with
+    | None -> ()
+    | Some s ->
+        Format.printf
+          "store: %d hits, %d misses, %d corrupt, %d repaired, %d writes (%d \
+           failed)@."
+          s.Store.Disk.hits s.Store.Disk.misses s.Store.Disk.corrupt
+          s.Store.Disk.repaired s.Store.Disk.writes
+          s.Store.Disk.write_failures);
     Format.printf "runtime metrics:@.%a@." Obs.Metrics.pp snap
   end;
   `Ok 0
@@ -316,8 +362,10 @@ let extract file object_var spec_src ints =
 
 (* The abstract-interpretation linter: a mini-C file, or the built-in
    corpus checked against its ground-truth expectations. *)
-let lint jobs corpus file json arrays resume checkpoint stop_after trace metrics =
+let lint jobs store corpus file json arrays resume checkpoint stop_after trace
+    metrics =
   with_jobs jobs @@ fun () ->
+  with_store store @@ fun () ->
   with_obs ?trace ?metrics @@ fun () ->
   if corpus then begin
     if supervising resume checkpoint stop_after then begin
@@ -435,8 +483,9 @@ let baselines () =
   print_string (Baselines.Attack_graph.to_dot g);
   `Ok 0
 
-let faults jobs smoke resume checkpoint stop_after trace metrics =
+let faults jobs store smoke resume checkpoint stop_after trace metrics =
   with_jobs jobs @@ fun () ->
+  with_store store @@ fun () ->
   with_obs ?trace ?metrics @@ fun () ->
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
   let reports, run_report =
@@ -469,11 +518,26 @@ let faults jobs smoke resume checkpoint stop_after trace metrics =
     ~ok:(benign && stable && supervised_ok)
     "fault matrix: benign-plan agreement or seed determinism violated"
 
-let chaos jobs seed json smoke soak trace metrics =
+let chaos jobs store seed json smoke soak disk trace metrics =
   with_jobs jobs @@ fun () ->
+  with_store store @@ fun () ->
   with_obs ?trace ?metrics @@ fun () ->
   let plans = if smoke then Fault.Catalog.smoke else Fault.Catalog.all in
-  if soak then begin
+  if disk then begin
+    let plans =
+      if smoke then Fault.Catalog.disk_smoke else Fault.Catalog.disk
+    in
+    let report = Chaos.disk ~seed ~plans () in
+    if json then print_endline (Chaos.disk_to_json report)
+    else Format.printf "%a@." Chaos.pp_disk report;
+    match Chaos.disk_violations report with
+    | [] -> `Ok 0
+    | vs ->
+        List.iter (Printf.eprintf "chaos: %s\n") vs;
+        Printf.eprintf "chaos: disk degradation contract violated\n%!";
+        `Ok 1
+  end
+  else if soak then begin
     let report = Chaos.soak ~seed ~plans () in
     if json then print_endline (Chaos.soak_to_json report)
     else Format.printf "%a@." Chaos.pp_soak report;
@@ -506,8 +570,9 @@ let chaos jobs seed json smoke soak trace metrics =
    only ever sees its source return [None]. *)
 exception Drain_now
 
-let serve jobs capacity fuel max_line seed trace metrics =
+let serve jobs store capacity fuel max_line seed trace metrics =
   with_jobs jobs @@ fun () ->
+  with_store store @@ fun () ->
   with_obs ?trace ?metrics @@ fun () ->
   let config =
     { Serve.Server.default_config with
@@ -548,6 +613,30 @@ let serve jobs capacity fuel max_line seed trace metrics =
     ~ok:(summary.Serve.Server.drained && Serve.Server.accounted summary)
     "serve: lost requests or unclean drain"
 
+(* Verify-and-repair for a result store.  Exit 0 iff the store ends
+   clean (after repair when --repair is given), 1 when damage remains,
+   2 when no store directory was named or it is unusable. *)
+let fsck store dir repair json =
+  match (match dir with Some d -> Some d | None -> store) with
+  | None ->
+      `Error (true, "a store directory is required: DIR or --store/DFSM_STORE")
+  | Some dir ->
+      if not (Sys.file_exists dir) then
+        `Error (false, Printf.sprintf "%s: no such store" dir)
+      else if not (Sys.is_directory dir) then
+        `Error (false, Printf.sprintf "%s: not a directory" dir)
+      else begin
+        let disk = Store.Disk.open_ ~dir in
+        let report = Store.Fsck.scan ~repair disk in
+        Store.Disk.close disk;
+        if json then print_endline (Store.Fsck.to_json report)
+        else Format.printf "%a@." Store.Fsck.pp report;
+        gate
+          ~ok:(Store.Fsck.clean report)
+          (if repair then "fsck: damage could not be repaired"
+           else "fsck: store is unclean (re-run with --repair)")
+      end
+
 (* Static TOCTTOU scan over declared step footprints, each finding
    confirmed or refuted by replaying only the flagged window under
    the scheduler.  Exit 1 iff a confirmed race exists. *)
@@ -584,6 +673,19 @@ let jobs_arg =
          ~doc:"Worker domains for parallel batch paths (default: \
                $(b,DFSM_JOBS), else the hardware thread count). Output is \
                byte-identical for every N; values < 1 are a usage error.")
+
+let store_arg =
+  let env =
+    Cmd.Env.info "DFSM_STORE"
+      ~doc:"Default directory for $(b,--store); the flag wins."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR" ~env
+         ~doc:"Persist analysis results in a crash-consistent store at DIR \
+               (created if absent): verified records are served instead of \
+               recomputed — across processes — and corruption, version skew \
+               or write failure silently degrades to recompute. Inspect with \
+               $(b,dfsm fsck).")
 
 let resume_arg =
   Arg.(value & flag
@@ -629,8 +731,9 @@ let dot_cmd =
 
 let exploit_cmd_ =
   Cmd.v (Cmd.info "exploit" ~doc:"Run every canned exploit against every configuration")
-    Term.(ret (const exploit_cmd $ jobs_arg $ resume_arg $ checkpoint_arg
-               $ stop_after_arg $ trace_arg $ metrics_file_arg))
+    Term.(ret (const exploit_cmd $ jobs_arg $ store_arg $ resume_arg
+               $ checkpoint_arg $ stop_after_arg $ trace_arg
+               $ metrics_file_arg))
 
 let consistency_cmd =
   Cmd.v (Cmd.info "consistency" ~doc:"Cross-check model verdicts against simulations")
@@ -652,7 +755,7 @@ let metrics_cmd =
     (Cmd.info "metrics"
        ~doc:"Structural metrics of every model (Observations 1-3), per-pFSM \
              transition coverage, and the runtime metrics snapshot")
-    Term.(ret (const metrics $ jobs_arg $ json_flag))
+    Term.(ret (const metrics $ jobs_arg $ store_arg $ json_flag))
 
 let ablation_cmd =
   Cmd.v (Cmd.info "ablation" ~doc:"ASLR ablation over the four memory exploits")
@@ -728,8 +831,9 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Re-run the consistency matrix and lemma under every fault plan")
-    Term.(ret (const faults $ jobs_arg $ smoke_arg $ resume_arg $ checkpoint_arg
-               $ stop_after_arg $ trace_arg $ metrics_file_arg))
+    Term.(ret (const faults $ jobs_arg $ store_arg $ smoke_arg $ resume_arg
+               $ checkpoint_arg $ stop_after_arg $ trace_arg
+               $ metrics_file_arg))
 
 let soak_flag =
   Arg.(value & flag
@@ -738,14 +842,24 @@ let soak_flag =
                instead of the batch pipeline, asserting zero lost requests \
                and a clean drain under every plan.")
 
+let disk_flag =
+  Arg.(value & flag
+       & info [ "disk" ]
+         ~doc:"Replay the durability-fault catalog (torn writes, bit flips, \
+               ENOSPC/EACCES, crash-before-rename) against the persistent \
+               result store instead of the batch pipeline, asserting \
+               byte-identical analysis results under every fault and a clean \
+               store after $(b,fsck --repair).")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Replay every fault plan against the supervised pipeline and check \
              the resilience contract: no lost items, bounded retries, \
              deterministic reports")
-    Term.(ret (const chaos $ jobs_arg $ seed_arg $ json_flag $ smoke_arg
-               $ soak_flag $ trace_arg $ metrics_file_arg))
+    Term.(ret (const chaos $ jobs_arg $ store_arg $ seed_arg $ json_flag
+               $ smoke_arg $ soak_flag $ disk_flag $ trace_arg
+               $ metrics_file_arg))
 
 let capacity_arg =
   Arg.(value & opt int Serve.Server.default_config.Serve.Server.capacity
@@ -775,8 +889,8 @@ let serve_cmd =
              deadlines, quarantine), graceful drain on EOF, shutdown request, \
              SIGTERM or SIGINT.  The response stream is byte-identical at \
              every $(b,-j).")
-    Term.(ret (const serve $ jobs_arg $ capacity_arg $ fuel_arg $ max_line_arg
-               $ seed_arg $ trace_arg $ metrics_file_arg))
+    Term.(ret (const serve $ jobs_arg $ store_arg $ capacity_arg $ fuel_arg
+               $ max_line_arg $ seed_arg $ trace_arg $ metrics_file_arg))
 
 let race_app_arg =
   let doc =
@@ -837,9 +951,31 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Abstract-interpretation linter with interpreter-validated findings")
-    Term.(ret (const lint $ jobs_arg $ corpus_flag $ lint_file_arg $ json_flag
-               $ lint_arrays_arg $ resume_arg $ checkpoint_arg $ stop_after_arg
-               $ trace_arg $ metrics_file_arg))
+    Term.(ret (const lint $ jobs_arg $ store_arg $ corpus_flag $ lint_file_arg
+               $ json_flag $ lint_arrays_arg $ resume_arg $ checkpoint_arg
+               $ stop_after_arg $ trace_arg $ metrics_file_arg))
+
+let repair_flag =
+  Arg.(value & flag
+       & info [ "repair" ]
+         ~doc:"Remove every unsound file (bad records, orphan tmps, strays) \
+               and compact the manifest to exactly the keys that verify; \
+               evicted results are recomputed by the next store-backed run.")
+
+let fsck_dir_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"DIR"
+         ~doc:"Store directory to check (default: $(b,--store) / \
+               $(b,DFSM_STORE)).")
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Verify a result store offline: classify every record (ok, torn, \
+             checksum-mismatch, stale-version, orphan-tmp), check the \
+             manifest, and optionally repair.  Exit 0 iff the store ends \
+             clean.")
+    Term.(ret (const fsck $ store_arg $ fsck_dir_arg $ repair_flag $ json_flag))
 
 let main =
   Cmd.group
@@ -848,7 +984,7 @@ let main =
     [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
       lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
       baselines_cmd; extract_cmd; lint_cmd; matrix_cmd; export_cmd; faults_cmd;
-      chaos_cmd; serve_cmd; races_cmd ]
+      chaos_cmd; serve_cmd; races_cmd; fsck_cmd ]
 
 (* The exit-code contract: cmdliner's usage errors (unknown command,
    unknown application, bad flags) land on 2; term-level failures

@@ -352,6 +352,147 @@ let pp_soak ppf r =
        Format.fprintf ppf "chaos soak: CONTRACT VIOLATED");
   Format.fprintf ppf "@]"
 
+(* ---- the disk-fault leg ------------------------------------------- *)
+
+type disk_run = {
+  disk_plan : Fault.Plan.t;
+  disk_events : int;
+  disk_store : Store.Disk.stats;  (** the faulted cold+warm runs' counters *)
+  sweep_matches : bool;
+  fsck : Store.Fsck.report;
+  post_repair : Store.Disk.stats;  (** one honest warm run after repair *)
+  post_repair_matches : bool;
+}
+
+type disk_report = {
+  disk_seed : int;
+  disk_runs : disk_run list;
+}
+
+(* Scratch store directories under the system temp dir, one per plan
+   run, removed afterwards.  [Filename.temp_file] gives a unique name
+   without a unix dependency; the file is replaced by a directory. *)
+let fresh_store_dir () =
+  let path = Filename.temp_file "dfsm_store" "" in
+  Sys.remove path;
+  Store.Io.mkdir_p path;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  end
+  else Store.Io.remove_if_exists path
+
+(* One plan: an honest reference sweep, then a cold and a warm sweep
+   against a fresh store inside [Fault.Hooks.run] — every store write
+   subject to the plan's io knobs, every corrupted record degrading to
+   recompute — then [fsck ~repair:true] and one honest warm run over
+   the repaired store.  The robustness contract is that both faulted
+   sweeps and the post-repair sweep render byte-identically to the
+   reference: injected durability faults may cost recomputes, never
+   results. *)
+let disk_run_one ~seed:_ plan =
+  Obs.Span.with_span ~cat:"chaos" ("disk:" ^ plan.Fault.Plan.name) @@ fun () ->
+  let reference = Staticcheck.Linter.sweep_to_json (Staticcheck.Linter.corpus_sweep ()) in
+  let dir = fresh_store_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let (faulted_jsons, disk_store), events =
+    Fault.Hooks.run plan (fun () ->
+        let disk = Store.Disk.open_ ~dir in
+        Store.Handle.with_store (Some disk) (fun () ->
+            let cold =
+              Staticcheck.Linter.sweep_to_json (Staticcheck.Linter.corpus_sweep ())
+            in
+            let warm =
+              Staticcheck.Linter.sweep_to_json (Staticcheck.Linter.corpus_sweep ())
+            in
+            ([ cold; warm ], Store.Disk.stats disk)))
+  in
+  let fsck =
+    let disk = Store.Disk.open_ ~dir in
+    let r = Store.Fsck.scan ~repair:true disk in
+    Store.Disk.close disk;
+    r
+  in
+  let post_disk = Store.Disk.open_ ~dir in
+  let post_json, post_repair =
+    Store.Handle.with_store (Some post_disk) (fun () ->
+        let j =
+          Staticcheck.Linter.sweep_to_json (Staticcheck.Linter.corpus_sweep ())
+        in
+        (j, Store.Disk.stats post_disk))
+  in
+  { disk_plan = plan;
+    disk_events = List.length events;
+    disk_store;
+    sweep_matches = List.for_all (String.equal reference) faulted_jsons;
+    fsck;
+    post_repair;
+    post_repair_matches = String.equal reference post_json }
+
+let disk ?(seed = default_seed) ?(plans = Fault.Catalog.disk) () =
+  { disk_seed = seed; disk_runs = List.map (disk_run_one ~seed) plans }
+
+let disk_run_violations (dr : disk_run) =
+  let where = Printf.sprintf "plan %s, disk leg" dr.disk_plan.Fault.Plan.name in
+  let check cond msg = if cond then [] else [ Printf.sprintf "%s: %s" where msg ] in
+  check dr.sweep_matches "RESULT DRIFT (faulted store changed sweep output)"
+  @ check (Store.Fsck.clean dr.fsck) "UNCLEAN STORE (fsck --repair left damage)"
+  @ check dr.post_repair_matches
+      "RESULT DRIFT (post-repair warm run changed sweep output)"
+  @ check
+      (dr.post_repair.Store.Disk.corrupt = 0)
+      (Printf.sprintf "POST-REPAIR CORRUPTION (%d records)"
+         dr.post_repair.Store.Disk.corrupt)
+
+let disk_violations r = List.concat_map disk_run_violations r.disk_runs
+
+let disk_ok r = disk_violations r = []
+
+let disk_run_to_json dr =
+  Printf.sprintf
+    "{\"plan\": \"%s\", \"events\": %d, \"store\": %s, \"sweep_matches\": %b, \
+     \"fsck\": %s, \"post_repair\": %s, \"post_repair_matches\": %b}"
+    dr.disk_plan.Fault.Plan.name dr.disk_events
+    (Store.Disk.stats_to_json dr.disk_store)
+    dr.sweep_matches
+    (Store.Fsck.to_json dr.fsck)
+    (Store.Disk.stats_to_json dr.post_repair)
+    dr.post_repair_matches
+
+let disk_to_json r =
+  Printf.sprintf "{\"seed\": %d, \"ok\": %b, \"plans\": [%s]}" r.disk_seed
+    (disk_ok r)
+    (String.concat ", " (List.map disk_run_to_json r.disk_runs))
+
+let pp_disk ppf r =
+  Format.fprintf ppf "@[<v>chaos disk: seed %d, %d plan%s@," r.disk_seed
+    (List.length r.disk_runs)
+    (if List.length r.disk_runs = 1 then "" else "s");
+  List.iter
+    (fun dr ->
+       let s = dr.disk_store in
+       Format.fprintf ppf
+         "plan %-14s %2d fault event%s  %d hits, %d misses, %d corrupt, %d \
+          repaired, %d writes (%d failed); fsck %s@,"
+         dr.disk_plan.Fault.Plan.name dr.disk_events
+         (if dr.disk_events = 1 then " " else "s")
+         s.Store.Disk.hits s.Store.Disk.misses s.Store.Disk.corrupt
+         s.Store.Disk.repaired s.Store.Disk.writes s.Store.Disk.write_failures
+         (if Store.Fsck.clean dr.fsck then "clean" else "UNCLEAN"))
+    r.disk_runs;
+  (match disk_violations r with
+   | [] ->
+       Format.fprintf ppf
+         "chaos disk: contract holds (byte-identical results under every \
+          durability fault)"
+   | vs ->
+       List.iter (fun v -> Format.fprintf ppf "%s@," v) vs;
+       Format.fprintf ppf "chaos disk: CONTRACT VIOLATED");
+  Format.fprintf ppf "@]"
+
 let pp_leg ppf l =
   match l.outcome with
   | Ran report ->

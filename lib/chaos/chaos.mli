@@ -131,3 +131,46 @@ val soak_stable : ?seed:int -> ?plans:Fault.Plan.t list -> unit -> bool
 val soak_to_json : soak_report -> string
 
 val pp_soak : Format.formatter -> soak_report -> unit
+
+(** {1 Disk chaos}
+
+    The durability-fault catalog ({!Fault.Catalog.disk}) replayed
+    against the persistent result store: for each plan, a cold and a
+    warm corpus sweep run against a fresh store with every write
+    subject to the plan's io knobs (torn writes, bit flips,
+    ENOSPC/EACCES, crash-before-rename), then [fsck --repair] and one
+    honest warm run over the repaired store.  The contract is {e
+    graceful degradation}: all three store-backed sweeps must render
+    byte-identically to a store-less reference sweep (faults may cost
+    recomputes, never results), and repair must leave the store
+    clean. *)
+
+type disk_run = {
+  disk_plan : Fault.Plan.t;
+  disk_events : int;  (** injected io faults that actually fired *)
+  disk_store : Store.Disk.stats;  (** the faulted cold+warm runs' counters *)
+  sweep_matches : bool;  (** both faulted sweeps == the reference *)
+  fsck : Store.Fsck.report;  (** the [~repair:true] scan *)
+  post_repair : Store.Disk.stats;  (** one honest warm run after repair *)
+  post_repair_matches : bool;
+}
+
+type disk_report = {
+  disk_seed : int;
+  disk_runs : disk_run list;
+}
+
+val disk :
+  ?seed:int -> ?plans:Fault.Plan.t list -> unit -> disk_report
+(** Defaults: {!default_seed}, {!Fault.Catalog.disk}.  Each plan gets
+    a fresh scratch store under the system temp directory, removed
+    before returning. *)
+
+val disk_violations : disk_report -> string list
+(** Human-readable contract violations; empty iff {!disk_ok}. *)
+
+val disk_ok : disk_report -> bool
+
+val disk_to_json : disk_report -> string
+
+val pp_disk : Format.formatter -> disk_report -> unit

@@ -38,4 +38,31 @@ let all =
 
 let smoke = [ none; short_recv; heap_pressure ]
 
-let find name = List.find_opt (fun p -> p.Plan.name = name) all
+(* The store-I/O fault catalog: replayed by the chaos disk leg (and
+   the crash-recovery property) against a warm persistent store.  Not
+   part of [all] — these knobs only perturb [Store.Io], so running
+   them through the simulation legs would be a no-op.  They never
+   change computed values, only durability, hence [benign]. *)
+let disk_torn =
+  { Plan.none with name = "disk-torn"; seed = 109; io_torn_percent = Some 45 }
+
+let disk_flip =
+  { Plan.none with name = "disk-flip"; seed = 110; io_flip_percent = Some 45 }
+
+let disk_full =
+  { Plan.none with name = "disk-full"; seed = 111; io_error_percent = Some 45 }
+
+let disk_crash =
+  { Plan.none with name = "disk-crash"; seed = 112; io_crash_percent = Some 45 }
+
+let disk_mixed =
+  { Plan.none with
+    name = "disk-mixed"; seed = 113;
+    io_torn_percent = Some 20; io_flip_percent = Some 20;
+    io_error_percent = Some 15; io_crash_percent = Some 15 }
+
+let disk = [ disk_torn; disk_flip; disk_full; disk_crash; disk_mixed ]
+
+let disk_smoke = [ disk_torn; disk_mixed ]
+
+let find name = List.find_opt (fun p -> p.Plan.name = name) (all @ disk)

@@ -35,4 +35,28 @@ val all : Plan.t list
 val smoke : Plan.t list
 (** A three-plan subset for CI. *)
 
+val disk_torn : Plan.t
+(** 45% of store writes reach disk truncated. *)
+
+val disk_flip : Plan.t
+(** 45% of store writes land with one bit flipped. *)
+
+val disk_full : Plan.t
+(** 45% of store writes fail outright (ENOSPC/EACCES). *)
+
+val disk_crash : Plan.t
+(** 45% of store commits die before their rename (orphan tmp). *)
+
+val disk_mixed : Plan.t
+(** All four store-I/O faults at lower rates. *)
+
+val disk : Plan.t list
+(** The store-I/O fault catalog (disjoint from {!all}): replayed by
+    the chaos disk leg against a warm persistent store.  These plans
+    perturb only [Store.Io] durability, never computed values. *)
+
+val disk_smoke : Plan.t list
+(** A two-plan disk subset for CI. *)
+
 val find : string -> Plan.t option
+(** Searches {!all} and {!disk}. *)

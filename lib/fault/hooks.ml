@@ -50,3 +50,13 @@ let schedule_mutation ~steps =
   match current () with
   | None -> None
   | Some i -> Injector.schedule_mutation i ~steps
+
+let store_write_fault ~len =
+  match current () with
+  | None -> None
+  | Some i -> Injector.store_write i ~len
+
+let sim_plan_active () =
+  match current () with
+  | None -> false
+  | Some i -> Plan.sim_active (Injector.plan i)

@@ -27,3 +27,12 @@ val fs_denies : path:string -> bool
 val mangle : string -> string
 
 val schedule_mutation : steps:int -> Injector.mutation option
+
+val store_write_fault : len:int -> Injector.io_fault option
+(** Consulted by [Store.Io] once per record write; [None] commits the
+    write untouched. *)
+
+val sim_plan_active : unit -> bool
+(** An injector whose plan has a simulation knob on is installed in
+    this domain: workload results may be perturbed, so result caches
+    must neither serve nor record entries for its dynamic extent. *)

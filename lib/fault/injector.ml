@@ -1,5 +1,11 @@
 type mutation = Drop_step of int | Dup_step of int
 
+type io_fault =
+  | Io_torn of int
+  | Io_flip of int * int
+  | Io_error of string
+  | Io_crash
+
 type t = {
   plan : Plan.t;
   rng : Vulndb.Prng.t;
@@ -7,6 +13,7 @@ type t = {
   mutable recvs : int;
   mutable writes : int;
   mutable schedules : int;
+  mutable store_writes : int;
   mutable events : Event.t list;   (* newest first *)
 }
 
@@ -17,6 +24,7 @@ let create plan =
     recvs = 0;
     writes = 0;
     schedules = 0;
+    store_writes = 0;
     events = [] }
 
 let plan t = t.plan
@@ -94,6 +102,47 @@ let mangle t s =
              (String.length s));
         Bytes.to_string b
       end
+
+(* At most one fault per store write, first matching knob wins: a
+   record is torn OR flipped OR denied OR orphaned, so a degraded read
+   maps back to exactly one injected event.  [len] is the full on-disk
+   record size (header + payload); a torn write keeps a strict prefix,
+   so the checksum can never accidentally survive. *)
+let store_write t ~len =
+  if not (Plan.io_active t.plan) then None
+  else begin
+    t.store_writes <- t.store_writes + 1;
+    let write = t.store_writes in
+    if len > 0 && chance t t.plan.Plan.io_torn_percent then begin
+      let keep = Vulndb.Prng.below t.rng len in
+      record t ~seam:"store.io"
+        (Printf.sprintf "write #%d torn: %d of %d bytes reach disk" write keep
+           len);
+      Some (Io_torn keep)
+    end
+    else if len > 0 && chance t t.plan.Plan.io_flip_percent then begin
+      let off = Vulndb.Prng.below t.rng len in
+      let bit = Vulndb.Prng.below t.rng 8 in
+      record t ~seam:"store.io"
+        (Printf.sprintf "write #%d corrupted: bit %d of byte %d flipped" write
+           bit off);
+      Some (Io_flip (off, bit))
+    end
+    else if chance t t.plan.Plan.io_error_percent then begin
+      let errno =
+        if Vulndb.Prng.below t.rng 2 = 0 then "ENOSPC" else "EACCES"
+      in
+      record t ~seam:"store.io"
+        (Printf.sprintf "write #%d failed: %s" write errno);
+      Some (Io_error errno)
+    end
+    else if chance t t.plan.Plan.io_crash_percent then begin
+      record t ~seam:"store.io"
+        (Printf.sprintf "write #%d crashed before rename (orphan tmp)" write);
+      Some Io_crash
+    end
+    else None
+  end
 
 let schedule_mutation t ~steps =
   if steps = 0 then None

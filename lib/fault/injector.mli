@@ -6,6 +6,12 @@
 
 type mutation = Drop_step of int | Dup_step of int
 
+type io_fault =
+  | Io_torn of int        (** only this many leading bytes reach disk *)
+  | Io_flip of int * int  (** (byte offset, bit) corrupted in flight *)
+  | Io_error of string    (** the write fails outright (ENOSPC/EACCES) *)
+  | Io_crash              (** the commit dies before rename: orphan tmp *)
+
 type t
 
 val create : Plan.t -> t
@@ -32,3 +38,8 @@ val mangle : t -> string -> string
 
 val schedule_mutation : t -> steps:int -> mutation option
 (** Perturb a schedule of [steps] steps: drop or duplicate one. *)
+
+val store_write : t -> len:int -> io_fault option
+(** Should this [len]-byte persistent-store write be perturbed?  At
+    most one fault per write (first matching knob wins), so every
+    degraded read traces back to exactly one injected event. *)

@@ -23,11 +23,24 @@ type t = {
   sched_drop_percent : int option;  (** chance a schedule loses one step *)
   sched_dup_percent : int option;   (** chance a schedule replays one step *)
   bitflip_percent : int option;     (** chance a bulk memory write is corrupted *)
+  io_torn_percent : int option;     (** chance a store write is truncated mid-record *)
+  io_flip_percent : int option;     (** chance a store write has one bit flipped *)
+  io_error_percent : int option;    (** chance a store write fails ENOSPC/EACCES *)
+  io_crash_percent : int option;    (** chance a commit dies before its rename *)
 }
 
 val none : t
 
 val is_passive : t -> bool
 (** Every knob is off: the plan cannot perturb anything. *)
+
+val sim_active : t -> bool
+(** A simulation knob (heap/recv/socket/fs/sched/bitflip) is on: the
+    plan can perturb workload {e results}, so result caches must not
+    serve or record entries computed under it. *)
+
+val io_active : t -> bool
+(** A store-I/O knob is on: the plan perturbs only the durability of
+    persisted records, never computed values. *)
 
 val pp : Format.formatter -> t -> unit

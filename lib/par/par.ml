@@ -75,6 +75,14 @@ let jobs () =
       jobs_ref := Some n;
       n
 
+(* Process-unique tags for code that needs collision-free scratch
+   names (e.g. a store's tmp files) while running on several pool
+   domains at once: a plain counter would race, a per-domain counter
+   would collide across domains. *)
+let tag_counter = Atomic.make 0
+
+let unique_tag () = Atomic.fetch_and_add tag_counter 1
+
 (* ---- typed pool errors -------------------------------------------- *)
 
 (* A result slot left empty after a completed job is a pool bug (the

@@ -50,6 +50,13 @@ val configure : ?jobs:int -> unit -> (int, string) result
 val jobs_env_help : string
 (** One-line help text describing [DFSM_JOBS] for CLI man pages. *)
 
+val unique_tag : unit -> int
+(** A process-unique non-negative integer (atomic counter), safe to
+    draw from any domain.  Used for collision-free scratch-file names
+    (a store handle's tmp files) when several pool workers write
+    concurrently — never for anything output-affecting, so determinism
+    is untouched. *)
+
 val add_serial_guard : (unit -> bool) -> unit
 (** Register a predicate checked at every [map] entry; when any guard
     returns [true] the map runs sequentially in the calling domain.

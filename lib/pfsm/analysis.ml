@@ -115,9 +115,19 @@ let model_digest model =
           end);
       d
 
-let memo_key model env =
-  model_digest model
-  ^ Digest.string (Marshal.to_string env [ Marshal.Closures ])
+let memo_keys model env =
+  let md = model_digest model in
+  let ed = Digest.string (Marshal.to_string env [ Marshal.Closures ]) in
+  (* in-memory key is the raw 32 bytes; the persistent key is its hex
+     spelling (store keys must be lowercase hex) *)
+  (md ^ ed, Digest.to_hex md ^ Digest.to_hex ed)
+
+(* Persistent tier: when the CLI has installed an ambient store, an
+   in-memory miss consults it before computing and a computed trace is
+   written back.  Both directions degrade silently to compute — a
+   corrupt or stale record reads as a miss (evicted and counted by the
+   store), a failed write leaves the run on the in-memory tier. *)
+let store_tag = "pfsm-trace"
 
 let memo_stats () =
   Mutex.lock memo_lock;
@@ -137,7 +147,7 @@ let memo_reset () =
       memo_misses := 0)
 
 let run_memo model ~env =
-  let key = memo_key model env in
+  let key, key_hex = memo_keys model env in
   Mutex.lock memo_lock;
   incr memo_lookups;
   Obs.Metrics.incr m_lookups;
@@ -156,7 +166,10 @@ let run_memo model ~env =
         Obs.Metrics.incr m_misses;
         Hashtbl.replace memo_table key Computing;
         Mutex.unlock memo_lock;
-        match Model.run model ~env with
+        match
+          Store.Handle.cached ~tag:store_tag ~key:key_hex (fun () ->
+              Model.run model ~env)
+        with
         | trace ->
             Mutex.lock memo_lock;
             Hashtbl.replace memo_table key (Done trace);
@@ -172,7 +185,13 @@ let run_memo model ~env =
   in
   acquire ()
 
-let analyze ?(par = false) ?(memo = false) model ~scenarios =
+let analyze ?(par = false) ?memo model ~scenarios =
+  (* when the CLI installed a persistent store, memoize by default so
+     every analysis routes through it; memoization never changes the
+     report, only where traces come from *)
+  let memo =
+    match memo with Some m -> m | None -> Store.Handle.get () <> None
+  in
   Obs.Span.with_span ~cat:"pfsm"
     ~args:[ ("scenarios", string_of_int (List.length scenarios)) ]
     "pfsm.analyze"

@@ -20,8 +20,11 @@ type report = {
 val analyze : ?par:bool -> ?memo:bool -> Model.t -> scenarios:Env.t list -> report
 (** [par] fans the scenarios out over the {!Par} domain pool (ordered
     reduction — the report is byte-identical to the sequential run for
-    any job count).  [memo] routes each scenario through {!run_memo}.
-    Both default to [false]. *)
+    any job count); defaults to [false].  [memo] routes each scenario
+    through {!run_memo}; it defaults to [true] when an ambient
+    {!Store.Handle} is installed (so every analysis goes through the
+    persistent store) and [false] otherwise.  Neither changes the
+    report. *)
 
 (** {2 Digest-keyed trace memo}
 
@@ -38,7 +41,13 @@ val analyze : ?par:bool -> ?memo:bool -> Model.t -> scenarios:Env.t list -> repo
     ([misses] = distinct keys ever computed). *)
 
 val run_memo : Model.t -> env:Env.t -> Trace.t
-(** Memoized [Model.run]. *)
+(** Memoized [Model.run].  When an ambient {!Store.Handle} is
+    installed, an in-memory miss consults the persistent store (hex
+    spelling of the same key) before computing, and computed traces
+    are written back — so a warm store makes reruns recompute nothing
+    even across processes.  Store corruption or write failure degrades
+    silently to compute; a sim-active fault plan bypasses the store
+    entirely (its results must not poison honest runs). *)
 
 type memo_stats = { lookups : int; hits : int; misses : int }
 

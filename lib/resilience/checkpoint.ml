@@ -1,13 +1,21 @@
+type damage = Torn_tail | Corrupt
+
+let damage_to_string = function
+  | Torn_tail -> "torn-tail"
+  | Corrupt -> "corrupt"
+
 type t = {
   table : (string, int) Hashtbl.t;   (* id -> attempts *)
   mutable rev_order : string list;
   path : string option;
   mutable chan : out_channel option;  (* cached append channel *)
-  mutable skipped : int list;         (* unparseable journal lines, 1-based, reverse *)
+  mutable skipped : (int * damage) list;  (* bad journal lines, 1-based, reverse *)
 }
 
-(* One line per completion: "<attempts> <escaped id>".  Escaping keeps
-   ids with spaces and newlines on one journal line. *)
+(* One line per completion: "<attempts> <escaped id>", written under a
+   {!Store.Record.seal_line} checksum.  Escaping keeps ids with spaces
+   and newlines on one journal line; the seal turns silent corruption
+   into a detected, classified skip. *)
 let line_of ~id ~attempts = Printf.sprintf "%d %s" attempts (String.escaped id)
 
 let parse_line line =
@@ -38,26 +46,46 @@ let load path =
     { table = Hashtbl.create 16; rev_order = []; path = Some path;
       chan = None; skipped = [] }
   in
-  if Sys.file_exists path then
-    In_channel.with_open_text path (fun ic ->
-        let rec go line_no =
-          match In_channel.input_line ic with
-          | None -> ()
-          | Some line ->
-              (match parse_line line with
-               | Some (id, attempts) -> record t id attempts
-               | None ->
-                   (* a torn final line after a crash, or corruption:
-                      never silently dropped — counted and surfaced *)
-                   t.skipped <- line_no :: t.skipped);
-              go (line_no + 1)
+  if Sys.file_exists path then begin
+    let lines =
+      In_channel.with_open_text path (fun ic ->
+          let rec go acc =
+            match In_channel.input_line ic with
+            | None -> List.rev acc
+            | Some line -> go (line :: acc)
+          in
+          go [])
+    in
+    let last = List.length lines in
+    List.iteri
+      (fun i line ->
+        let line_no = i + 1 in
+        (* sealed lines verify end-to-end; bare lines are accepted for
+           journals written before sealing existed *)
+        let parsed =
+          match Store.Record.unseal_line line with
+          | `Sealed content -> parse_line content
+          | `Unsealed -> parse_line line
+          | `Mismatch -> None
         in
-        go 1);
+        match parsed with
+        | Some (id, attempts) -> record t id attempts
+        | None ->
+            (* never silently dropped — counted, surfaced, and
+               classified: only the final line can be the torn tail a
+               crash mid-append leaves; damage anywhere else is
+               mid-file corruption *)
+            let damage = if line_no = last then Torn_tail else Corrupt in
+            t.skipped <- (line_no, damage) :: t.skipped)
+      lines
+  end;
   t
 
 let path t = t.path
 
-let skipped_lines t = List.rev t.skipped
+let skipped_detail t = List.rev t.skipped
+
+let skipped_lines t = List.rev_map fst t.skipped
 
 let skipped t = List.length t.skipped
 
@@ -84,11 +112,16 @@ let mark t ~id ~attempts =
     record t id attempts;
     match t.path with
     | None -> ()
-    | Some path ->
+    | Some path -> (
         let oc = channel t path in
-        output_string oc (line_of ~id ~attempts);
-        output_char oc '\n';
-        flush oc
+        (* through the store's fault seam: an injected torn append or
+           write error degrades to a lost journal line — the item is
+           re-analyzed on resume, never lost *)
+        match
+          Store.Io.append_line oc ~path
+            (Store.Record.seal_line (line_of ~id ~attempts))
+        with
+        | Ok () | Error _ -> ())
   end
 
 let seen t id = Hashtbl.mem t.table id

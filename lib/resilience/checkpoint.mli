@@ -14,20 +14,35 @@ val in_memory : unit -> t
 
 val load : string -> t
 (** A file-backed journal at this path; existing entries are read
-    back, later {!mark}s are appended and flushed immediately.  The
-    file is created on the first mark if absent.  Lines that do not
-    parse — a torn final line after a crash, or corruption — are
-    never silently dropped: they are counted and surfaced through
-    {!skipped} / {!skipped_lines}. *)
+    back, later {!mark}s are appended and flushed immediately (each
+    line carrying a per-line checksum; unsealed lines from journals
+    written before sealing existed are still accepted).  The file is
+    created on the first mark if absent.  Lines that fail their
+    checksum or do not parse — a torn final line after a crash, or
+    corruption — are never silently dropped: they are counted,
+    surfaced through {!skipped} / {!skipped_lines}, and classified by
+    {!skipped_detail}.  Journal appends go through the store's
+    fault-injection seam, so durability plans exercise the resume
+    path. *)
 
 val path : t -> string option
 
+(** Why a journal line was skipped. *)
+type damage =
+  | Torn_tail  (** the final line — the prefix a crash mid-append leaves *)
+  | Corrupt  (** damage anywhere before the final line *)
+
+val damage_to_string : damage -> string
+
 val skipped : t -> int
-(** Number of journal lines {!load} could not parse. *)
+(** Number of journal lines {!load} could not verify and parse. *)
 
 val skipped_lines : t -> int list
-(** 1-based line numbers of the unparseable journal lines, in file
+(** 1-based line numbers of the skipped journal lines, in file
     order. *)
+
+val skipped_detail : t -> (int * damage) list
+(** {!skipped_lines} with each line's classification. *)
 
 val mark : t -> id:string -> attempts:int -> unit
 (** Record a completion.  Re-marking an id keeps the first record. *)

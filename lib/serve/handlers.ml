@@ -79,9 +79,9 @@ let lint ~spend target =
   | "corpus" ->
       let reports =
         List.map
-          (fun (_, func) ->
+          (fun (label, func) ->
              spend 1;
-             Staticcheck.Linter.lint ~config func)
+             Staticcheck.Linter.lint_cached ~config label func)
           Minic.Corpus.all
       in
       lint_result ~target reports
@@ -90,13 +90,13 @@ let lint ~spend target =
       | None -> reject "unknown corpus variant: %s" name
       | Some func ->
           spend 1;
-          lint_result ~target [ Staticcheck.Linter.lint ~config func ])
+          lint_result ~target [ Staticcheck.Linter.lint_cached ~config name func ])
 
 let analyze ~spend app =
   let model = model_of app in
   let scenarios = scenarios_of app in
   List.iter (fun _ -> spend 1) scenarios;
-  let report = Pfsm.Analysis.analyze model ~scenarios in
+  let report = Pfsm.Analysis.analyze ~memo:true model ~scenarios in
   Json.Obj
     [ ("app", Json.Str app);
       ("scenarios", Json.Int report.Pfsm.Analysis.scenarios_run);

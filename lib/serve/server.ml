@@ -31,6 +31,12 @@ type summary = {
   drained : bool;
   latencies : int list;
   report : R.Run_report.t;
+  store : Store.Disk.stats option;
+      (** this run's delta against the ambient store, when one is
+          installed *)
+  store_degraded : int;
+      (** requests that hit store corruption or a failed store write
+          (and degraded to recompute) *)
 }
 
 let accounted s =
@@ -45,27 +51,48 @@ let percentile p xs =
       List.nth sorted (min (n - 1) (rank - 1))
 
 let summary_to_json s =
+  (* the store fields only appear when a store is installed, so runs
+     without one render byte-identically to the pre-store format *)
+  let store_fields =
+    match s.store with
+    | None -> ""
+    | Some st ->
+        Printf.sprintf ", \"store\": %s, \"store_degraded\": %d"
+          (Store.Disk.stats_to_json st) s.store_degraded
+  in
   Printf.sprintf
     "{\"status\": \"summary\", \"admitted\": %d, \"shed\": %d, \"completed\": \
      %d, \"errors\": %d, \"deadline\": %d, \"quarantined\": %d, \"malformed\": \
      %d, \"stats\": %d, \"batches\": %d, \"vt\": %d, \"drained\": %b, \
-     \"accounted\": %b, \"latency_p50\": %d, \"latency_p99\": %d, \"report\": %s}"
+     \"accounted\": %b, \"latency_p50\": %d, \"latency_p99\": %d%s, \
+     \"report\": %s}"
     s.admitted s.shed s.completed s.errors s.deadlined s.quarantined
     s.malformed s.stats_served s.batches s.vt s.drained (accounted s)
-    (percentile 50 s.latencies) (percentile 99 s.latencies)
+    (percentile 50 s.latencies) (percentile 99 s.latencies) store_fields
     (R.Run_report.to_json s.report)
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>serve: %d admitted (%d completed, %d errors, %d deadline, %d \
      quarantined), %d shed, %d malformed, %d stats@,%d batch%s over %d virtual \
-     time units; latency p50 %d, p99 %d@,drained %b, accounted %b@]"
+     time units; latency p50 %d, p99 %d@,drained %b, accounted %b"
     s.admitted s.completed s.errors s.deadlined s.quarantined s.shed
     s.malformed s.stats_served s.batches
     (if s.batches = 1 then "" else "es")
     s.vt
     (percentile 50 s.latencies) (percentile 99 s.latencies)
-    s.drained (accounted s)
+    s.drained (accounted s);
+  (match s.store with
+  | None -> ()
+  | Some st ->
+      Format.fprintf ppf
+        "@,store: %d hits, %d misses, %d corrupt, %d repaired, %d writes (%d \
+         failed), %d request%s degraded"
+        st.Store.Disk.hits st.Store.Disk.misses st.Store.Disk.corrupt
+        st.Store.Disk.repaired st.Store.Disk.writes
+        st.Store.Disk.write_failures s.store_degraded
+        (if s.store_degraded = 1 then "" else "s"));
+  Format.fprintf ppf "@]"
 
 (* ---- metrics ------------------------------------------------------ *)
 
@@ -89,6 +116,10 @@ type pending = {
 let run ?(config = default_config) ~emit source =
   Obs.Span.with_span ~cat:"serve" "serve" @@ fun () ->
   let queue : pending Admission.t = Admission.create ~capacity:config.capacity in
+  let store_at_start =
+    Option.map Store.Disk.stats (Store.Handle.get ())
+  in
+  let store_degraded = ref 0 in
   let vt = ref 0 in
   let line_no = ref 0 in
   let completed = ref 0 in
@@ -146,7 +177,12 @@ let run ?(config = default_config) ~emit source =
         incr batches;
         Obs.Metrics.incr m_batches;
         let speculated : (int, _ result) Hashtbl.t = Hashtbl.create 16 in
-        if Fault.Hooks.current () = None then
+        (* speculation is skipped under an active injector (event
+           stream must stay sequential) and under an ambient store:
+           sequential-only attempts give every request a well-defined
+           store delta, which is what makes [store_degraded] and the
+           summary's store stats deterministic at every -j *)
+        if Fault.Hooks.current () = None && Store.Handle.get () = None then
           Par.map_list ~label:"serve.batch"
             (fun (i, p) ->
                let r =
@@ -159,14 +195,38 @@ let run ?(config = default_config) ~emit source =
           |> List.iter (fun (i, r) -> Hashtbl.replace speculated i r);
         List.iteri
           (fun i (p : pending) ->
+             (* per-request degradation accounting: a request counts
+                (once) when any of its attempts hit store corruption
+                or a failed store write — i.e. it completed by
+                recompute rather than by trusting the disk *)
+             let degraded = ref false in
+             let observed_invoke ~attempt =
+               match Store.Handle.get () with
+               | None -> invoke_handler p ~attempt
+               | Some disk ->
+                   let before = Store.Disk.stats disk in
+                   Fun.protect
+                     (fun () -> invoke_handler p ~attempt)
+                     ~finally:(fun () ->
+                       let after = Store.Disk.stats disk in
+                       if
+                         (not !degraded)
+                         && (after.Store.Disk.corrupt > before.Store.Disk.corrupt
+                            || after.Store.Disk.write_failures
+                               > before.Store.Disk.write_failures)
+                       then begin
+                         degraded := true;
+                         incr store_degraded
+                       end)
+             in
              let invoke ~attempt =
                if attempt = 1 then
                  match Hashtbl.find_opt speculated i with
                  | Some r -> (
                      Hashtbl.remove speculated i;
                      match r with Ok v -> v | Error e -> raise e)
-                 | None -> invoke_handler p ~attempt
-               else invoke_handler p ~attempt
+                 | None -> observed_invoke ~attempt
+               else observed_invoke ~attempt
              in
              let cls = Protocol.work_class p.p_work in
              let breaker = breaker_of cls in
@@ -368,7 +428,13 @@ let run ?(config = default_config) ~emit source =
           seed = config.seed;
           items = List.rev !rev_report_items;
           waited = !waited;
-          journal_skipped = 0 } }
+          journal_skipped = 0 };
+      store =
+        (match (store_at_start, Store.Handle.get ()) with
+        | Some before, Some disk ->
+            Some (Store.Disk.sub_stats (Store.Disk.stats disk) before)
+        | _ -> None);
+      store_degraded = !store_degraded }
   in
   emit (summary_to_json summary);
   summary

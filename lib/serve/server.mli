@@ -56,6 +56,16 @@ type summary = {
   drained : bool;      (** input ended via EOF/shutdown and the queue emptied *)
   latencies : int list;  (** completed-request latencies, completion order *)
   report : Resilience.Run_report.t;  (** one item per admitted request *)
+  store : Store.Disk.stats option;
+      (** this run's delta against the ambient persistent store, when
+          the CLI installed one ([None] otherwise — the summary JSON
+          then renders byte-identically to the store-less format) *)
+  store_degraded : int;
+      (** requests that hit store corruption or a failed store write
+          during some attempt and completed by recompute instead;
+          always 0 without a store.  Speculation is disabled while a
+          store is installed so this accounting (and the store delta)
+          is per-request well-defined and [-j]-independent. *)
 }
 
 val accounted : summary -> bool

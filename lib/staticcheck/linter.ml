@@ -97,20 +97,37 @@ let row_ok expected (r : report) =
 let corpus_config =
   { Absint.default_config with Absint.arrays = Minic.Corpus.tTflag_arrays }
 
+(* Persistent row cache: a variant's report is a pure function of
+   (label, function, config), so its digest keys the report in the
+   ambient store.  Expectations are re-evaluated against the cached
+   report — only the analysis itself is persisted, so editing the
+   ground truth never serves a stale verdict. *)
+let store_tag = "lint-report"
+
+let report_key ~config label f =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (label, f, config) [ Marshal.Closures ]))
+
+let lint_cached ~config label f =
+  Store.Handle.cached ~tag:store_tag ~key:(report_key ~config label f)
+    (fun () -> lint ~config f)
+
+let lint_row ~config (label, f) =
+  let expected =
+    match List.assoc_opt label expectations with
+    | Some e -> e
+    | None -> Clean
+  in
+  let report = lint_cached ~config label f in
+  { label; expected; report; ok = row_ok expected report }
+
 (* Each corpus variant lints independently; the Par map keeps row
    order, so the sweep is byte-identical to the sequential one.  Under
    an active fault plan the serial guard drops to sequential, keeping
    the injector's event stream intact. *)
 let corpus_sweep () =
   Par.map_list ~label:"lint.corpus"
-    (fun (label, f) ->
-       let expected =
-         match List.assoc_opt label expectations with
-         | Some e -> e
-         | None -> Clean
-       in
-       let report = lint ~config:corpus_config f in
-       { label; expected; report; ok = row_ok expected report })
+    (fun item -> lint_row ~config:corpus_config item)
     Minic.Corpus.all
 
 let sweep_ok rows = List.for_all (fun r -> r.ok) rows
@@ -129,13 +146,7 @@ let sweep_item ~config (label, f) =
          if Fault.Hooks.heap_alloc_fails ~requested:arena_bytes then
            Fault.Condition.fail
              (Fault.Condition.Heap_exhausted { requested = arena_bytes });
-         let expected =
-           match List.assoc_opt label expectations with
-           | Some e -> e
-           | None -> Clean
-         in
-         let report = lint ~config f in
-         { label; expected; report; ok = row_ok expected report }) }
+         lint_row ~config (label, f)) }
 
 let supervised_sweep ?(config = corpus_config) ?supervise ?checkpoint
     ?stop_after ?parallel () =

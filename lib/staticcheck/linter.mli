@@ -21,6 +21,12 @@ type report = {
 
 val lint : ?config:Absint.config -> Minic.Ast.func -> report
 
+val lint_cached : config:Absint.config -> string -> Minic.Ast.func -> report
+(** [lint] routed through the ambient persistent store (when one is
+    installed) under the digest of [label x function x config]; a
+    verified record short-circuits the analysis, anything unsound
+    degrades to a fresh [lint] whose report is written back. *)
+
 val lint_program : ?config:Absint.config -> Minic.Ast.func list -> report list
 
 val pp_report : Format.formatter -> report -> unit
@@ -48,7 +54,11 @@ val corpus_sweep : unit -> sweep_row list
 (** Lint every {!Minic.Corpus} variant against its expectation.
     Variants fan out over the {!Par} domain pool with ordered
     reduction — rows are byte-identical to the sequential sweep for
-    any job count. *)
+    any job count.  When an ambient {!Store.Handle} is installed, each
+    variant's report is served from the store when a verified record
+    exists (keyed on the digest of label x function x config) and
+    written back otherwise, so a warm store makes a rerun recompute
+    nothing; expectations are always re-evaluated live. *)
 
 val supervised_sweep :
   ?config:Absint.config ->

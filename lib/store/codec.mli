@@ -1,0 +1,16 @@
+(** Tagged Marshal payloads for store records.
+
+    The tag names the logical type of the value ("memo", "lint-row",
+    ...) so a key collision across callers can never hand the wrong
+    bytes to [Marshal.from_string].  Values are marshalled with
+    [Closures], which embeds the compiler's code digest — a payload
+    written by a different binary fails to unmarshal and reads as
+    [None], exactly like any other stale entry. *)
+
+val to_payload : tag:string -> 'a -> string
+(** [tag] must be newline-free. *)
+
+val of_payload : tag:string -> string -> 'a option
+(** [None] on a tag mismatch or any unmarshal failure.  The caller is
+    expected to treat [None] as corruption ({!Disk.note_corrupt}) and
+    recompute. *)

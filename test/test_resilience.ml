@@ -165,8 +165,38 @@ let test_checkpoint_skipped_surfaced () =
   Alcotest.(check int) "corrupt lines counted" 2 (R.Checkpoint.skipped cp);
   Alcotest.(check (list int)) "corrupt lines located" [ 2; 4 ]
     (R.Checkpoint.skipped_lines cp);
+  (* per-line classification: only the final line can be the prefix a
+     crash mid-append leaves; damage before it is mid-file corruption *)
+  Alcotest.(check (list string)) "damage classified"
+    [ "corrupt"; "torn-tail" ]
+    (List.map
+       (fun (_, d) -> R.Checkpoint.damage_to_string d)
+       (R.Checkpoint.skipped_detail cp));
   R.Checkpoint.reset cp;
   Alcotest.(check int) "reset clears the count" 0 (R.Checkpoint.skipped cp)
+
+let test_checkpoint_midfile_corruption () =
+  (* a sealed journal with one line flipped in the middle: the damaged
+     line is skipped and classified Corrupt, every other entry loads *)
+  let path = Filename.temp_file "dfsm-test" ".checkpoint" in
+  Sys.remove path;
+  let cp = R.Checkpoint.load path in
+  List.iter
+    (fun id -> R.Checkpoint.mark cp ~id ~attempts:1)
+    [ "a"; "b"; "c" ];
+  R.Checkpoint.finalize cp;
+  let journal = In_channel.with_open_bin path In_channel.input_all in
+  let second = String.index_from journal (String.index journal '\n' + 1) '\n' in
+  let b = Bytes.of_string journal in
+  Bytes.set b (second - 1) (Char.chr (Char.code (Bytes.get b (second - 1)) lxor 1));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  let reloaded = R.Checkpoint.load path in
+  Alcotest.(check (list string)) "undamaged entries load" [ "a"; "c" ]
+    (R.Checkpoint.ids reloaded);
+  (match R.Checkpoint.skipped_detail reloaded with
+   | [ (2, R.Checkpoint.Corrupt) ] -> ()
+   | _ -> Alcotest.fail "mid-file damage not classified Corrupt at line 2");
+  R.Checkpoint.reset reloaded
 
 (* ---- supervisor --------------------------------------------------- *)
 
@@ -337,6 +367,11 @@ let prop_torn_journal_resume =
          Sys.remove path
        end;
        R.Checkpoint.skipped reloaded <= 1
+       (* a truncation can only damage the final surviving line, and
+          the per-line checksum classifies exactly that *)
+       && List.for_all
+            (fun (_, d) -> d = R.Checkpoint.Torn_tail)
+            (R.Checkpoint.skipped_detail reloaded)
        && resumed.Sup.report.R.Run_report.journal_skipped
           = R.Checkpoint.skipped reloaded
        && R.Run_report.no_lost ~expected:n resumed.Sup.report
@@ -438,6 +473,8 @@ let () =
        [ Alcotest.test_case "file journal round trip" `Quick test_checkpoint_file;
          Alcotest.test_case "corrupt lines surfaced" `Quick
            test_checkpoint_skipped_surfaced;
+         Alcotest.test_case "mid-file corruption classified" `Quick
+           test_checkpoint_midfile_corruption;
          QCheck_alcotest.to_alcotest prop_torn_journal_resume ]);
       ("supervisor",
        [ Alcotest.test_case "typed outcomes" `Quick test_supervisor_outcomes;
