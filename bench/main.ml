@@ -4,13 +4,18 @@
    series the paper reports); part 2 runs Bechamel micro-benchmarks —
    one Test.make per experiment plus the substrate hot paths.
 
-   Run with: dune exec bench/main.exe -- [--smoke] [--json [FILE]]
+   Run with: dune exec bench/main.exe --
+               [--smoke] [--json [FILE]] [--compare FILE] [--threshold PCT]
 
-   --smoke  runs the fast subset (figure-1 check, lint sweep, the
-            resilience, PAR, OBS, SERVE and STORE sections) — the CI
-            perf-trajectory step
-   --json   additionally writes every recorded metric as machine-
-            readable JSON (default file: BENCH.json) *)
+   --smoke     runs the fast subset (figure-1 check, lint sweep, the
+               resilience, PAR, OBS, SERVE, STORE and PERF sections) —
+               the CI perf-trajectory step
+   --json      additionally writes every recorded metric as machine-
+               readable JSON (default file: BENCH.json)
+   --compare   diffs this run's cost metrics (keys suffixed -ms, -s,
+               -ns, -bytes) against a committed baseline JSON and
+               exits 1 on a regression past --threshold (default 20%,
+               with a per-unit absolute floor against timer jitter) *)
 
 let smoke = ref false
 
@@ -72,6 +77,100 @@ let wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* ---- baseline comparison: --compare FILE [--threshold PCT] -------- *)
+
+let compare_baseline : string option ref = ref None
+
+let threshold = ref 20.0
+
+(* Only cost metrics are gated (lower is better); a name is a cost
+   when it carries one of these unit suffixes.  Each class has an
+   absolute floor the excess must clear before the relative threshold
+   counts.  Allocation counts are deterministic for a deterministic
+   workload (the PERF legs additionally take the min over three
+   repetitions to shed one-off runtime housekeeping), so `-bytes` is
+   the precise, load-bearing gate at the relative threshold alone.
+   Wall-clock metrics on shared CI runners routinely jitter 2-3x on
+   10-600 ms legs, so a timing metric must at least *double* past its
+   unit floor before it fails the build — timings catch catastrophes,
+   bytes catch representation regressions. *)
+let cost_floor name ~base =
+  let has suffix =
+    let n = String.length name and s = String.length suffix in
+    n >= s && String.sub name (n - s) s = suffix
+  in
+  if has "-bytes" then Some 4096.
+  else if has "-ms" then Some (Float.max 100. base)
+  else if has "-ns" then Some (Float.max 100_000. base)
+  else if has "-s" || has "_s" then Some (Float.max 1.0 base)
+  else None
+
+let compare_with_baseline path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e ->
+      Printf.eprintf "bench: cannot read baseline %s: %s\n" path e;
+      exit 2
+  in
+  let doc =
+    match Serve.Json.parse text with
+    | Ok doc -> doc
+    | Error e ->
+        Printf.eprintf "bench: baseline %s is not valid JSON: %s\n" path e;
+        exit 2
+  in
+  let num = function
+    | Serve.Json.Int i -> Some (float_of_int i)
+    | Serve.Json.Float f -> Some f
+    | _ -> None
+  in
+  let base_sections =
+    match Serve.Json.mem "sections" doc with
+    | Some (Serve.Json.Obj secs) -> secs
+    | _ -> []
+  in
+  let current s name =
+    match List.assoc_opt s !metrics with
+    | Some cell -> List.assoc_opt name !cell
+    | None -> None
+  in
+  let compared = ref 0 in
+  let regressions = ref [] in
+  List.iter
+    (fun (sec, fields) ->
+      match fields with
+      | Serve.Json.Obj fields ->
+          List.iter
+            (fun (name, v) ->
+              match num v with
+              | Some base when base > 0. -> (
+                  match cost_floor name ~base, current sec name with
+                  | Some floor, Some cur ->
+                      incr compared;
+                      if cur > base *. (1. +. (!threshold /. 100.))
+                         && cur -. base > floor
+                      then regressions := (sec, name, base, cur) :: !regressions
+                  | _ -> ())
+              | _ -> ())
+            fields
+      | _ -> ())
+    base_sections;
+  Format.printf "@.compared %d cost metrics against %s (threshold %.0f%%)@."
+    !compared path !threshold;
+  match List.rev !regressions with
+  | [] -> Format.printf "no regressions past threshold@."
+  | regs ->
+      List.iter
+        (fun (sec, name, base, cur) ->
+          Printf.eprintf
+            "bench: REGRESSION %s/%s: %.6g -> %.6g (+%.0f%%)\n" sec name base
+            cur
+            ((cur -. base) /. base *. 100.))
+        regs;
+      Printf.eprintf "bench: %d metric(s) regressed past %.0f%%\n"
+        (List.length regs) !threshold;
+      exit 1
 
 let section title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
@@ -944,6 +1043,207 @@ let store_bench () =
           record ~section:"STORE" "warm-speedup" (baseline /. warm);
           record ~section:"STORE" "repaired" (float_of_int st.Store.Disk.repaired)))
 
+(* ================= PERF: data-representation before/after ========== *)
+
+(* Each leg runs the retired representation (kept as an executable
+   reference) against the production one over the same workload, and
+   reports wall time plus this domain's allocated-bytes delta
+   ([Obs.Allocs.bytes_of]).  The legs also cross-check agreement, so a
+   "win" from a divergent implementation records 0 and is visible. *)
+
+(* Runtime housekeeping (heap chunk growth, pool initialisation)
+   occasionally lands a ~MB one-off allocation inside whichever timed
+   region triggers it, which would flake a byte-level baseline gate.
+   Each leg therefore runs three times and reports the minimum time
+   and minimum bytes: the one-off can inflate at most one repetition,
+   so the min is the stable, comparable figure. *)
+let best_of leg =
+  let run () =
+    let (r, bytes), t = wall (fun () -> Obs.Allocs.bytes_of leg) in
+    (r, bytes, t)
+  in
+  let r, b0, t0 = run () in
+  let _, b1, t1 = run () in
+  let _, b2, t2 = run () in
+  ((r, Float.min b0 (Float.min b1 b2)), Float.min t0 (Float.min t1 t2))
+
+let perf_bench () =
+  section "PERF -- hot-path data representations, before/after";
+
+  (* predicate sets: sorted-unique id lists vs Predset bitsets.
+     Ids are pre-interned outside the timed region so both legs time
+     only the set operations, not the intern lock. *)
+  let per_model_ids =
+    List.map
+      (fun (_, m) ->
+        List.concat_map
+          (fun (_, p) ->
+            [ Pfsm.Predicate.id p.Pfsm.Primitive.spec;
+              Pfsm.Predicate.id p.Pfsm.Primitive.impl ])
+          (Pfsm.Model.all_pfsms m))
+      (all_models ())
+  in
+  let probe = List.concat per_model_ids in
+  let reps = if !smoke then 2_000 else 20_000 in
+  let list_leg () =
+    let found = ref 0 in
+    for _ = 1 to reps do
+      let union =
+        List.fold_left
+          (fun u ids -> List.sort_uniq compare (List.rev_append ids u))
+          [] per_model_ids
+      in
+      List.iter (fun i -> if List.mem i union then incr found) probe
+    done;
+    !found
+  in
+  let bitset_leg () =
+    let found = ref 0 in
+    for _ = 1 to reps do
+      let union =
+        List.fold_left
+          (fun u ids ->
+            List.fold_left (fun u i -> Pfsm.Predset.add_id i u) u ids)
+          Pfsm.Predset.empty per_model_ids
+      in
+      List.iter (fun i -> if Pfsm.Predset.mem_id i union then incr found) probe
+    done;
+    !found
+  in
+  let (hits_l, bytes_l), t_l = best_of list_leg in
+  let (hits_b, bytes_b), t_b = best_of bitset_leg in
+  Format.printf
+    "predicate sets (%d models, %d preds, %d union+probe rounds):@."
+    (List.length per_model_ids) (List.length probe) reps;
+  Format.printf "  id lists (sort_uniq)  %8.2f ms  %12.0f bytes@."
+    (t_l *. 1000.) bytes_l;
+  Format.printf "  Predset bitsets       %8.2f ms  %12.0f bytes  (agree=%b)@."
+    (t_b *. 1000.) bytes_b (hits_l = hits_b);
+  record ~section:"PERF" "predset-list-ms" (t_l *. 1000.);
+  record ~section:"PERF" "predset-bitset-ms" (t_b *. 1000.);
+  record ~section:"PERF" "predset-list-bytes" bytes_l;
+  record ~section:"PERF" "predset-bitset-bytes" bytes_b;
+  record ~section:"PERF" "predset-agree" (if hits_l = hits_b then 1. else 0.);
+
+  (* POR sleep sets: int-list vs bitmask bookkeeping over a 3-process
+     workload with both conflicting and commuting steps. *)
+  let module Sch = Osmodel.Scheduler in
+  let module E = Osmodel.Effect in
+  let mk p i cell =
+    Sch.step_e
+      (Printf.sprintf "p%d.%d" p i)
+      ~effects:[ E.writes (E.Mem cell) ]
+      (fun (_ : unit ref) -> ())
+  in
+  let proc p cells = List.mapi (mk p) cells in
+  let procs =
+    [ proc 0 [ "x"; "y"; "x"; "z" ];
+      proc 1 [ "y"; "u"; "x" ];
+      proc 2 [ "v"; "w"; "y" ] ]
+  in
+  let drain schedules =
+    Seq.fold_left (fun n sched -> n + List.length sched) 0 schedules
+  in
+  let preps = if !smoke then 50 else 200 in
+  let por_leg enum () =
+    let steps = ref 0 in
+    for _ = 1 to preps do
+      steps := !steps + drain (enum ~independent:E.independent procs)
+    done;
+    !steps
+  in
+  (* warm both enumerations (and the minor heap) outside the timed
+     region, so the first leg doesn't pay the GC ramp-up *)
+  ignore (drain (Sch.schedules_por_ref ~independent:E.independent procs));
+  ignore (drain (Sch.schedules_por ~independent:E.independent procs));
+  let (steps_l, pbytes_l), pt_l = best_of (por_leg Sch.schedules_por_ref) in
+  let (steps_b, pbytes_b), pt_b = best_of (por_leg Sch.schedules_por) in
+  Format.printf "@.POR sleep sets (3 processes, %d drains):@." preps;
+  Format.printf "  int lists             %8.2f ms  %12.0f bytes@."
+    (pt_l *. 1000.) pbytes_l;
+  Format.printf "  bitmasks              %8.2f ms  %12.0f bytes  (agree=%b)@."
+    (pt_b *. 1000.) pbytes_b (steps_l = steps_b);
+  record ~section:"PERF" "por-list-ms" (pt_l *. 1000.);
+  record ~section:"PERF" "por-bitmask-ms" (pt_b *. 1000.);
+  record ~section:"PERF" "por-list-bytes" pbytes_l;
+  record ~section:"PERF" "por-bitmask-bytes" pbytes_b;
+  record ~section:"PERF" "por-agree" (if steps_l = steps_b then 1. else 0.);
+
+  (* abstract interpreter: Smap environments vs slot arrays.  The
+     corpus and Progen functions keep the legs honest on realistic
+     shapes, but they are tiny (a handful of variables, one loop), so
+     per-analyze fixed costs would drown the env representation.  The
+     stress functions are what the slot refactor targets: many live
+     variables joined/widened on every fixpoint round. *)
+  let stress nvars =
+    let open Minic.Ast in
+    let v i = Printf.sprintf "v%d" i in
+    let decls = List.init nvars (fun i -> Decl_int (v i, Int_lit i)) in
+    let bumps =
+      List.init nvars (fun i ->
+          Assign (v i, Bin (Add, Var (v ((i + 1) mod nvars)), Int_lit 1)))
+    in
+    { name = Printf.sprintf "stress%d" nvars;
+      params = [ Int_param "n"; Str_param "s" ];
+      body =
+        decls
+        @ [ Decl_buf ("buf", 64);
+            While
+              ( Bin (Lt, Var "v0", Var "n"),
+                bumps
+                @ [ If
+                      ( Bin (Lt, Var "v1", Int_lit 100),
+                        [ Assign ("v2", Bin (Add, Var "v2", Int_lit 1)) ],
+                        [ Assign ("v3", Bin (Sub, Var "v3", Int_lit 1)) ] );
+                    Array_store ("tab", Var "v4", Var "v5");
+                    Strcpy ("buf", Var "s") ] );
+            Return (Var "v0") ] }
+  in
+  let funcs =
+    List.map snd Minic.Corpus.all
+    @ List.init (if !smoke then 8 else 24) (fun i ->
+          Staticcheck.Progen.func ~seed:(3000 + i))
+    @ List.map stress [ 8; 12; 16; 24 ]
+  in
+  let config =
+    { Staticcheck.Absint.default_config with
+      arrays = [ ("tab", 32) ] }
+  in
+  let areps = if !smoke then 5 else 20 in
+  let absint_leg analyze () =
+    let raws = ref 0 in
+    for _ = 1 to areps do
+      List.iter
+        (fun f ->
+          raws := !raws + List.length (analyze ~config f).Staticcheck.Absint.raws)
+        funcs
+    done;
+    !raws
+  in
+  List.iter
+    (fun f ->
+      ignore (Staticcheck.Absint_ref.analyze ~config f);
+      ignore (Staticcheck.Absint.analyze ~config f))
+    funcs;
+  let (raws_m, abytes_m), at_m =
+    best_of
+      (absint_leg (fun ~config f -> Staticcheck.Absint_ref.analyze ~config f))
+  in
+  let (raws_s, abytes_s), at_s =
+    best_of (absint_leg (fun ~config f -> Staticcheck.Absint.analyze ~config f))
+  in
+  Format.printf "@.abstract interpreter (%d functions x %d reps):@."
+    (List.length funcs) areps;
+  Format.printf "  Smap environments     %8.2f ms  %12.0f bytes@."
+    (at_m *. 1000.) abytes_m;
+  Format.printf "  slot arrays           %8.2f ms  %12.0f bytes  (agree=%b)@."
+    (at_s *. 1000.) abytes_s (raws_m = raws_s);
+  record ~section:"PERF" "absint-smap-ms" (at_m *. 1000.);
+  record ~section:"PERF" "absint-slots-ms" (at_s *. 1000.);
+  record ~section:"PERF" "absint-smap-bytes" abytes_m;
+  record ~section:"PERF" "absint-slots-bytes" abytes_s;
+  record ~section:"PERF" "absint-agree" (if raws_m = raws_s then 1. else 0.)
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -1188,9 +1488,13 @@ let run_benchmarks () =
 
 let usage () =
   prerr_endline
-    "usage: bench [--smoke] [--json [FILE]]\n\
-    \  --smoke        fast subset (figure 1, lint sweep, resilience, PAR, OBS, SERVE, STORE)\n\
-    \  --json [FILE]  also write metrics as JSON (default BENCH.json)";
+    "usage: bench [--smoke] [--json [FILE]] [--compare FILE] [--threshold PCT]\n\
+    \  --smoke          fast subset (figure 1, lint sweep, resilience, PAR, OBS, SERVE, STORE, PERF)\n\
+    \  --json [FILE]    also write metrics as JSON (default BENCH.json)\n\
+    \  --compare FILE   diff this run's cost metrics (-ms/-s/-bytes keys)\n\
+    \                   against a committed baseline JSON; exit 1 on any\n\
+    \                   regression past the threshold\n\
+    \  --threshold PCT  regression tolerance for --compare (default 20)";
   exit 2
 
 let parse_argv () =
@@ -1205,6 +1509,20 @@ let parse_argv () =
     | "--json" :: rest ->
         json_out := Some "BENCH.json";
         go rest
+    | "--compare" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        compare_baseline := Some path;
+        go rest
+    | "--compare" :: _ ->
+        prerr_endline "bench: --compare needs a baseline file";
+        usage ()
+    | "--threshold" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p >= 0. ->
+            threshold := p;
+            go rest
+        | _ ->
+            Printf.eprintf "bench: bad threshold %S\n" pct;
+            usage ())
     | ("--help" | "-h") :: _ -> usage ()
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %S\n" arg;
@@ -1221,7 +1539,8 @@ let () =
     par_bench ();
     obs_bench ();
     serve_bench ();
-    store_bench ()
+    store_bench ();
+    perf_bench ()
   end
   else begin
     fig1 ();
@@ -1252,8 +1571,12 @@ let () =
     obs_bench ();
     serve_bench ();
     store_bench ();
+    perf_bench ();
     run_benchmarks ()
   end;
   (match !json_out with Some path -> write_json path | None -> ());
   Par.teardown ();
+  (match !compare_baseline with
+   | Some path -> compare_with_baseline path
+   | None -> ());
   Format.printf "@.done.@."

@@ -1,0 +1,25 @@
+(** Span-scoped allocation accounting.
+
+    A scope is a triple of registry counters —
+    [alloc.<name>.bytes], [alloc.<name>.minor_words],
+    [alloc.<name>.spans] — and {!measure} folds a GC-counter delta
+    around a closure into them.  Deltas are per-domain (each domain
+    charges its own work), so the snapshot total is exact and
+    deterministic for a deterministic workload at any [-j]; the
+    counters surface through {!Metrics.snapshot} like any other, so
+    [dfsm metrics] reports them with no extra plumbing.
+
+    Measurement allocates nothing on the measured path. *)
+
+type t
+
+val scope : string -> t
+(** Register (idempotently) the three [alloc.<name>.*] counters. *)
+
+val measure : t -> (unit -> 'a) -> 'a
+(** Run the closure, charging its allocation delta to the scope.  The
+    delta is recorded even when the closure raises. *)
+
+val bytes_of : (unit -> 'a) -> 'a * float
+(** One-shot probe: the closure's result and its allocated-bytes delta
+    on this domain, bypassing the registry (bench harnesses). *)

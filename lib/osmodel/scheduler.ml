@@ -61,7 +61,10 @@ let perturb steps =
   | Some (Fault.Injector.Dup_step i) ->
       List.concat (List.mapi (fun j s -> if j = i then [ s; s ] else [ s ]) steps)
 
+let run_allocs = Obs.Allocs.scope "scheduler.run"
+
 let run_schedules ?budget ~init ~check ~total schedules =
+  Obs.Allocs.measure run_allocs @@ fun () ->
   let budget = match budget with Some b -> b | None -> Fault.Budget.unlimited () in
   let covered = ref 0 in
   let verdicts = ref [] in
@@ -115,8 +118,16 @@ let run_schedules ?budget ~init ~check ~total schedules =
    process [i] passes the child the sleep set
      { j in sleep ∪ explored-before-i | step_j independent of step_i }
    and a node whose enabled transitions are all asleep emits nothing —
-   its schedules are permutations of branches already explored. *)
-let schedules_por ~independent procs =
+   its schedules are permutations of branches already explored.
+
+   [schedules_por_ref] is the original list-of-int representation of
+   the sleep and explored sets, kept as the executable specification:
+   the production [schedules_por] packs both sets into int bitmasks
+   (membership = one [land], union = one [lor], per-branch allocation
+   zero) and must stay schedule-for-schedule identical to it — the
+   differential qcheck property and the bench before/after leg both
+   run the two side by side. *)
+let schedules_por_ref ~independent procs =
   let procs = Array.of_list (List.filter (fun p -> p <> []) procs) in
   let n = Array.length procs in
   let indices = List.init n Fun.id in
@@ -145,6 +156,58 @@ let schedules_por ~independent procs =
     end
   in
   go procs []
+
+(* Bitmask variant: process indices are bit positions, so the sleep
+   set, the explored-before-i set and the enabled set are each one
+   immediate int.  Branch order (ascending process index) and the
+   sleep-set recurrence are exactly [schedules_por_ref]'s, so the
+   emitted schedule sequence is identical element for element; only
+   the per-node set bookkeeping changes (no list cells, no [@],
+   no [List.mem] scans on the hot path).  More processes than bits in
+   an int would need wider masks; no model comes close, so that case
+   falls back to the reference implementation rather than carrying
+   dead multi-word code. *)
+let schedules_por ~independent procs =
+  let arr = Array.of_list (List.filter (fun p -> p <> []) procs) in
+  let n = Array.length arr in
+  if n > Sys.int_size - 1 then schedules_por_ref ~independent procs
+  else
+    let rec go rem sleep () =
+      let enabled = ref 0 in
+      for i = n - 1 downto 0 do
+        if rem.(i) <> [] then enabled := !enabled lor (1 lsl i)
+      done;
+      if !enabled = 0 then Seq.Cons ([], Seq.empty)
+      else begin
+        let enabled = !enabled in
+        (* [explored] holds the awake branches already taken at this
+           node (bits below [i] only, by construction of the scan) *)
+        let rec branches explored i =
+          if i >= n then Seq.Nil
+          else if enabled land (1 lsl i) = 0 || sleep land (1 lsl i) <> 0
+          then branches explored (i + 1)
+          else begin
+            let s = List.hd rem.(i) in
+            let rem' = Array.copy rem in
+            rem'.(i) <- List.tl rem.(i);
+            let candidates = sleep lor explored in
+            let child_sleep = ref 0 in
+            for j = 0 to n - 1 do
+              if
+                candidates land (1 lsl j) <> 0
+                && independent (List.hd rem.(j)).effects s.effects
+              then child_sleep := !child_sleep lor (1 lsl j)
+            done;
+            Seq.append
+              (Seq.map (fun sched -> s :: sched) (go rem' !child_sleep))
+              (fun () -> branches (explored lor (1 lsl i)) (i + 1))
+              ()
+          end
+        in
+        branches 0 0
+      end
+    in
+    go arr 0
 
 (* Pick the head of any non-empty sequence as the next step, recurse. *)
 let rec merge_all_seq seqs () =

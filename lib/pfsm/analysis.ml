@@ -43,6 +43,8 @@ let memo_lookups = ref 0
 let memo_hits = ref 0
 let memo_misses = ref 0
 
+let analyze_allocs = Obs.Allocs.scope "pfsm.analyze"
+
 let m_lookups = Obs.Metrics.counter "pfsm.memo.lookups"
 let m_hits = Obs.Metrics.counter "pfsm.memo.hits"
 let m_misses = Obs.Metrics.counter "pfsm.memo.misses"
@@ -196,6 +198,7 @@ let analyze ?(par = false) ?memo model ~scenarios =
     ~args:[ ("scenarios", string_of_int (List.length scenarios)) ]
     "pfsm.analyze"
   @@ fun () ->
+  Obs.Allocs.measure analyze_allocs @@ fun () ->
   let run env =
     if memo then run_memo model ~env else Model.run model ~env
   in
@@ -232,9 +235,24 @@ let exploited report =
 
 let vulnerable_pfsms report = List.filter (fun f -> f.hidden_hits > 0) report.findings
 
+module String_set = Set.Make (String)
+
 let vulnerable_operations report =
-  let ops = List.map (fun f -> f.operation) (vulnerable_pfsms report) in
-  List.sort_uniq compare ops
+  (* one set fold instead of re-sorting the whole operation list; the
+     rendering contract (ascending, unique) is unchanged *)
+  List.fold_left
+    (fun acc f -> String_set.add f.operation acc)
+    String_set.empty (vulnerable_pfsms report)
+  |> String_set.elements
+
+(* The distinct spec/impl predicates of a model, packed over intern
+   ids.  [Primitive.make] interned every predicate, so [Predset.add]
+   is a table lookup plus a bit set — no structural compares. *)
+let model_predset model =
+  List.fold_left
+    (fun acc (_, p) ->
+      Predset.add p.Primitive.spec (Predset.add p.Primitive.impl acc))
+    Predset.empty (Model.all_pfsms model)
 
 let taxonomy_matrix model =
   let pfsms = Model.all_pfsms model in

@@ -69,7 +69,12 @@ val memo_reset : unit -> unit
 val exploited : report -> (Env.t * Trace.t) list
 
 val vulnerable_operations : report -> string list
-(** Operations containing at least one pFSM with a hidden hit. *)
+(** Operations containing at least one pFSM with a hidden hit,
+    ascending and unique. *)
+
+val model_predset : Model.t -> Predset.t
+(** The distinct spec/impl predicates of the model, as a packed
+    {!Predset} bitset over intern ids. *)
 
 val vulnerable_pfsms : report -> pfsm_finding list
 

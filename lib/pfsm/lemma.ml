@@ -4,6 +4,18 @@ type check = {
   foiled : bool;
 }
 
+(* Hidden steps repeat an operation (and a site) once per driven
+   scenario stage; folding them through a set dedups in one pass where
+   the old [List.sort_uniq compare] re-sorted the whole list per call.
+   [elements] is ascending, exactly the order sort_uniq produced. *)
+module String_set = Set.Make (String)
+
+module Site_set = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
 let exploited_with_hidden_ops model ~scenarios =
   List.filter_map
     (fun env ->
@@ -17,7 +29,10 @@ let exploited_with_hidden_ops model ~scenarios =
 let sufficiency model ~scenarios =
   let per_scenario (env, _trace, hidden) =
     let ops =
-      List.sort_uniq compare (List.map (fun s -> s.Trace.operation) hidden)
+      String_set.elements
+        (List.fold_left
+           (fun acc s -> String_set.add s.Trace.operation acc)
+           String_set.empty hidden)
     in
     List.map
       (fun op_name ->
@@ -31,8 +46,11 @@ let sufficiency model ~scenarios =
 let pfsm_sufficiency model ~scenarios =
   let per_scenario (env, _trace, hidden) =
     let sites =
-      List.sort_uniq compare
-        (List.map (fun s -> (s.Trace.operation, s.Trace.pfsm.Primitive.name)) hidden)
+      Site_set.elements
+        (List.fold_left
+           (fun acc s ->
+             Site_set.add (s.Trace.operation, s.Trace.pfsm.Primitive.name) acc)
+           Site_set.empty hidden)
     in
     List.map
       (fun (op_name, pfsm_name) ->

@@ -128,6 +128,16 @@ let hc_terms : (term, term) Hashtbl.t = Hashtbl.create 256
 let hc_preds : (t, t) Hashtbl.t = Hashtbl.create 256
 let hc_hits = ref 0
 
+(* Dense intern ids, assigned in canonization order.  An id is stable
+   for the life of the process (canonical nodes are never evicted),
+   which is what lets Predset pack predicate sets into bitsets: the id
+   is the bit position.  Ids are construction-order-dependent and must
+   never cross a process boundary — digests, not ids, key the
+   persistent tiers. *)
+let hc_pred_ids : (t, int) Hashtbl.t = Hashtbl.create 256
+let hc_pred_by_id : (int, t) Hashtbl.t = Hashtbl.create 256
+let hc_next_id = ref 0
+
 let m_distinct = Obs.Metrics.counter "pfsm.hashcons.distinct"
 let m_hc_hits = Obs.Metrics.counter "pfsm.hashcons.hits"
 
@@ -139,6 +149,20 @@ let canon table key =
       v
   | None ->
       Hashtbl.add table key key;
+      Obs.Metrics.incr m_distinct;
+      key
+
+let canon_pred key =
+  match Hashtbl.find_opt hc_preds key with
+  | Some v ->
+      incr hc_hits;
+      Obs.Metrics.incr m_hc_hits;
+      v
+  | None ->
+      Hashtbl.add hc_preds key key;
+      Hashtbl.add hc_pred_ids key !hc_next_id;
+      Hashtbl.add hc_pred_by_id !hc_next_id key;
+      incr hc_next_id;
       Obs.Metrics.incr m_distinct;
       key
 
@@ -186,13 +210,29 @@ let rec intern_unlocked p =
     | Fits_int32 a -> term1 (fun a -> Fits_int32 a) a
     | Is_format_free a -> term1 (fun a -> Is_format_free a) a
   in
-  canon hc_preds rebuilt
+  canon_pred rebuilt
 
 let intern p =
   Mutex.lock hc_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock hc_lock)
     (fun () -> intern_unlocked p)
+
+let id p =
+  Mutex.lock hc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock hc_lock)
+    (fun () -> Hashtbl.find hc_pred_ids (intern_unlocked p))
+
+let of_id i =
+  Mutex.lock hc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock hc_lock)
+    (fun () -> Hashtbl.find_opt hc_pred_by_id i)
+
+let max_id () =
+  Mutex.lock hc_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock hc_lock) (fun () -> !hc_next_id)
 
 let equal p q = p == q || p = q
 

@@ -72,6 +72,24 @@ val equal : t -> t -> bool
 (** Structural equality with a physical fast path (free after
     {!intern}). *)
 
+val id : t -> int
+(** The dense intern id of a predicate: canonical nodes are numbered
+    0, 1, 2, ... in canonization order, and the numbering is stable
+    for the life of the process (nodes are never evicted).  [id]
+    interns its argument, so it is total; on an already-interned
+    predicate it costs one table lookup.  Ids are the bit positions
+    {!Predset} packs predicate sets into — they depend on construction
+    order and must never cross a process boundary (digests, not ids,
+    key the persistent tiers). *)
+
+val of_id : int -> t option
+(** The canonical predicate carrying an id, [None] if no predicate has
+    been assigned it yet. *)
+
+val max_id : unit -> int
+(** One past the largest id assigned so far (= distinct canonical
+    predicates interned). *)
+
 type intern_stats = { distinct : int; hits : int }
 
 val intern_stats : unit -> intern_stats

@@ -1,0 +1,128 @@
+(* Immutable bitsets over interned predicate ids.
+
+   A set of predicates is an array of bit words, bit [i] standing for
+   the canonical predicate with [Predicate.id] = i.  Every value is
+   kept normalized (no trailing zero words), so structural equality of
+   the arrays is set equality and an empty set is always [| |].
+
+   The operations the list-based call sites used to spell as
+   [List.mem] / [List.sort_uniq compare] over structural predicate
+   compares become single-word tests and word-wise logical ops; a
+   whole union allocates one small int array instead of a sorted
+   intermediate list per call. *)
+
+type t = int array
+
+let bits_per_word = Sys.int_size
+
+let empty : t = [||]
+
+let is_empty s = Array.length s = 0
+
+(* drop trailing zero words so equal sets are structurally equal *)
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mem_id i (s : t) =
+  let w = i / bits_per_word in
+  w < Array.length s && s.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add_id i (s : t) =
+  if mem_id i s then s
+  else begin
+    let w = i / bits_per_word in
+    let a = Array.make (max (Array.length s) (w + 1)) 0 in
+    Array.blit s 0 a 0 (Array.length s);
+    a.(w) <- a.(w) lor (1 lsl (i mod bits_per_word));
+    a
+  end
+
+let mem p s = mem_id (Predicate.id p) s
+
+let add p s = add_id (Predicate.id p) s
+
+let singleton p = add p empty
+
+let of_list ps = List.fold_left (fun s p -> add p s) empty ps
+
+let union (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let n = max la lb in
+    let r = Array.make n 0 in
+    for i = 0 to n - 1 do
+      r.(i) <-
+        (if i < la then a.(i) else 0) lor (if i < lb then b.(i) else 0)
+    done;
+    r
+  end
+
+let inter (a : t) (b : t) : t =
+  let n = min (Array.length a) (Array.length b) in
+  if n = 0 then empty
+  else begin
+    let r = Array.make n 0 in
+    for i = 0 to n - 1 do
+      r.(i) <- a.(i) land b.(i)
+    done;
+    normalize r
+  end
+
+let diff (a : t) (b : t) : t =
+  let la = Array.length a in
+  if la = 0 || Array.length b = 0 then a
+  else begin
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      r.(i) <- a.(i) land lnot (if i < Array.length b then b.(i) else 0)
+    done;
+    normalize r
+  end
+
+let equal (a : t) (b : t) = a = b
+
+let subset (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  la <= lb
+  &&
+  let rec go i = i >= la || (a.(i) land lnot b.(i) = 0 && go (i + 1)) in
+  go 0
+
+let popcount w =
+  let n = ref 0 and w = ref w in
+  while !w <> 0 do
+    incr n;
+    w := !w land (!w - 1)
+  done;
+  !n
+
+let cardinal (s : t) = Array.fold_left (fun acc w -> acc + popcount w) 0 s
+
+(* ascending id order: low words first, low bits first *)
+let fold_ids f (s : t) acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun wi word ->
+      let w = ref word in
+      while !w <> 0 do
+        let low = !w land - !w in
+        let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1) in
+        acc := f ((wi * bits_per_word) + bit_index low 0) !acc;
+        w := !w land (!w - 1)
+      done)
+    s;
+  !acc
+
+let fold f s acc =
+  fold_ids
+    (fun i acc ->
+      match Predicate.of_id i with Some p -> f p acc | None -> acc)
+    s acc
+
+let elements s = List.rev (fold (fun p acc -> p :: acc) s [])
+
+let to_ids s = List.rev (fold_ids (fun i acc -> i :: acc) s [])

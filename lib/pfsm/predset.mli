@@ -1,0 +1,44 @@
+(** Immutable sets of interned predicates, packed as bitsets over
+    {!Predicate.id}.
+
+    Membership is a single word test and union/intersection are
+    word-wise logical ops, replacing the [List.mem] /
+    [List.sort_uniq compare] idiom (and its per-call sort allocation)
+    on the analysis hot paths.  Values are normalized — no trailing
+    zero words — so structural equality is set equality.
+
+    Every constructor interns its argument via {!Predicate.id}, so
+    sets built from structurally equal predicates coincide bit for
+    bit.  Ids (and therefore the packed representation) are stable
+    only within one process; serialize predicates, never bitsets. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val mem : Predicate.t -> t -> bool
+val add : Predicate.t -> t -> t
+val singleton : Predicate.t -> t
+val of_list : Predicate.t list -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val cardinal : t -> int
+
+val fold : (Predicate.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending {!Predicate.id} order. *)
+
+val elements : t -> Predicate.t list
+(** Canonical predicates, ascending id order. *)
+
+(** {2 Raw id views} (test and bench hooks) *)
+
+val mem_id : int -> t -> bool
+val add_id : int -> t -> t
+val fold_ids : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_ids : t -> int list

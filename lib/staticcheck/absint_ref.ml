@@ -1,206 +1,62 @@
-(* Forward abstract interpretation over Absval states.
-
-   Loops run a Kleene iteration with widening after two rounds;
-   checker emission is disabled during the fixpoint and re-enabled for
-   one final pass over the loop body at the stable head, so each
-   dangerous site reports once, from the post-fixpoint state. *)
+(* Executable specification of {!Absint}: the original string-keyed
+   [Map.Make (String)] abstract environments and the per-store
+   [List.assoc_opt] array lookup, kept verbatim so the slot-array
+   production interpreter can be checked against it finding for
+   finding (and benchmarked against it).  Emits {!Absint.raw} values,
+   so results from the two interpreters compare structurally. *)
 
 module A = Minic.Ast
 module I = Interval
 module V = Absval
-
-type config = {
-  arrays : (string * int) list;
-  int_params : Interval.t;
-}
-
-let default_config = { arrays = []; int_params = I.range 0 0x7fff_ffff }
-
-type fact =
-  | Index_fact of { idx : V.num; count : int option }
-  | Copy_fact of { len : V.num; cap : V.num }
-  | Recv_fact of { off : V.num; max : V.num; cap : V.num }
-
-type raw = {
-  kind : Finding.kind;
-  path : Cfg.path;
-  detail : string;
-  fact : fact;
-}
-
-type result = {
-  cfg : Cfg.t;
-  raws : raw list;
-  loop_iterations : int;
-  widenings : int;
-}
-
-(* ---- variable slots ------------------------------------------------
-
-   Every name the function can bind or read is resolved to a dense
-   integer slot once, before the fixpoint ever runs.  The abstract
-   state is then a pair of option arrays indexed by slot: lookups are
-   one bounds-checked load instead of a string-keyed tree descent, and
-   the join/widen/equal loops the fixpoint lives in walk two flat
-   arrays instead of merging balanced maps.  The function's name set
-   is fixed, so the arrays never grow. *)
-
-type slots = { index : (string, int) Hashtbl.t; count : int }
-
-let rec expr_names acc (e : A.expr) =
-  match e with
-  | A.Int_lit _ | A.Str_lit _ -> acc
-  | A.Var v -> v :: acc
-  | A.Bin (_, a, b) -> expr_names (expr_names acc a) b
-  | A.Not e | A.Atoi e | A.Strlen e -> expr_names acc e
-
-let rec stmt_names acc (s : A.stmt) =
-  match s with
-  | A.Decl_int (v, e) | A.Assign (v, e) | A.Decl_buf_dyn (v, e) ->
-      expr_names (v :: acc) e
-  | A.Decl_buf (v, _) -> v :: acc
-  | A.Array_store (_, idx, value) -> expr_names (expr_names acc idx) value
-  | A.Strcpy (b, e) -> expr_names (b :: acc) e
-  | A.Strncpy (b, e, bound) -> expr_names (expr_names (b :: acc) e) bound
-  | A.Recv_into (rc, buf, off, max) ->
-      expr_names (expr_names (rc :: buf :: acc) off) max
-  | A.If (c, t, e) -> block_names (block_names (expr_names acc c) t) e
-  | A.While (c, body) -> block_names (expr_names acc c) body
-  | A.Do_while (body, c) -> expr_names (block_names acc body) c
-  | A.Reject _ -> acc
-  | A.Return e -> expr_names acc e
-
-and block_names acc stmts = List.fold_left stmt_names acc stmts
-
-let build_slots (f : A.func) =
-  let param_name = function A.Int_param n | A.Str_param n -> n in
-  let names = List.map param_name f.A.params @ block_names [] f.A.body in
-  let index = Hashtbl.create 16 in
-  List.iter
-    (fun n ->
-      if not (Hashtbl.mem index n) then Hashtbl.add index n (Hashtbl.length index))
-    names;
-  { index; count = Hashtbl.length index }
+module Smap = Map.Make (String)
 
 (* ---- abstract environments ---------------------------------------- *)
 
-(* [slots] is shared by every env of one analysis; the arrays are
-   copy-on-write (an update copies, never mutates a published state). *)
-type env = { slots : slots; vars : V.t option array; bufs : V.num option array }
-
-let find_var env v =
-  match Hashtbl.find_opt env.slots.index v with
-  | Some i -> env.vars.(i)
-  | None -> None
-
-let find_buf env b =
-  match Hashtbl.find_opt env.slots.index b with
-  | Some i -> env.bufs.(i)
-  | None -> None
-
-let set_var env i v =
-  let vars = Array.copy env.vars in
-  vars.(i) <- Some v;
-  { env with vars }
-
-let set_buf env i n =
-  let bufs = Array.copy env.bufs in
-  bufs.(i) <- Some n;
-  { env with bufs }
+type env = { vars : V.t Smap.t; bufs : V.num Smap.t }
 
 let resolve_in env base =
-  match find_var env base with
+  match Smap.find_opt base env.vars with
   | Some v -> (V.as_num v).V.itv
   | None -> I.top
 
-(* A variable bound on only one side keeps its binding: using an
-   unbound variable makes the concrete interpreter reject, not fault,
-   so checkers only ever reason about the paths where the binding
-   exists.  The resolver a join hands to symbolic-bound recovery must
-   be what holds in BOTH incoming states, i.e. the interval join. *)
-let merge_slot f a b =
-  match a, b with
-  | Some x, Some y -> Some (f x y)
-  | (Some _ as v), None | None, (Some _ as v) -> v
-  | None, None -> None
-
-let merge_arrays f a b = Array.init (Array.length a) (fun i -> merge_slot f a.(i) b.(i))
+let merge_with f a b =
+  Smap.merge
+    (fun _ x y ->
+       match x, y with
+       | Some x, Some y -> Some (f x y)
+       | (Some _ as v), None | None, (Some _ as v) -> v
+       | None, None -> None)
+    a b
 
 let join_env e1 e2 =
   let resolve base = I.join (resolve_in e1 base) (resolve_in e2 base) in
-  { e1 with
-    vars = merge_arrays (V.join_r ~resolve) e1.vars e2.vars;
-    bufs = merge_arrays (V.join_num_r ~resolve) e1.bufs e2.bufs }
+  { vars = merge_with (V.join_r ~resolve) e1.vars e2.vars;
+    bufs = merge_with (V.join_num_r ~resolve) e1.bufs e2.bufs }
 
 let widen_env old next =
-  { old with
-    vars = merge_arrays V.widen old.vars next.vars;
-    bufs = merge_arrays V.widen_num old.bufs next.bufs }
-
-let opt_equal eq a b =
-  match a, b with
-  | Some x, Some y -> eq x y
-  | None, None -> true
-  | Some _, None | None, Some _ -> false
-
-let arrays_equal eq a b =
-  let n = Array.length a in
-  let rec go i = i >= n || (opt_equal eq a.(i) b.(i) && go (i + 1)) in
-  go 0
+  { vars = merge_with V.widen old.vars next.vars;
+    bufs = merge_with V.widen_num old.bufs next.bufs }
 
 let env_equal a b =
-  arrays_equal V.equal a.vars b.vars && arrays_equal V.equal_num a.bufs b.bufs
+  Smap.equal V.equal a.vars b.vars && Smap.equal V.equal_num a.bufs b.bufs
 
 let join_opt a b =
   match a, b with
   | None, x | x, None -> x
   | Some e1, Some e2 -> Some (join_env e1 e2)
 
-(* Writing [v] invalidates every symbolic bound expressed relative to
-   the old value of [v].  Values (and whole arrays) that mention no
-   such bound are returned physically unchanged, so the common case —
-   an assignment nothing else's bound refers to — copies nothing. *)
 let kill_sym v (n : V.num) =
-  let dead = function Some s -> s.V.base = v | None -> false in
-  if dead n.V.lo_sym || dead n.V.hi_sym then
-    { n with
-      V.lo_sym = (if dead n.V.lo_sym then None else n.V.lo_sym);
-      hi_sym = (if dead n.V.hi_sym then None else n.V.hi_sym) }
-  else n
+  let keep = function Some s when s.V.base = v -> None | o -> o in
+  { n with V.lo_sym = keep n.V.lo_sym; hi_sym = keep n.V.hi_sym }
 
-let kill_sym_t v t =
-  match t with
-  | V.Num n -> let n' = kill_sym v n in if n' == n then t else V.Num n'
-  | V.Str n -> let n' = kill_sym v n in if n' == n then t else V.Str n'
-
-let map_shared f arr =
-  let n = Array.length arr in
-  let i = ref 0 in
-  while
-    !i < n && (match arr.(!i) with Some x -> f x == x | None -> true)
-  do
-    incr i
-  done;
-  if !i >= n then arr
-  else begin
-    let out = Array.copy arr in
-    for j = !i to n - 1 do
-      match arr.(j) with
-      | Some x ->
-          let y = f x in
-          if y != x then out.(j) <- Some y
-      | None -> ()
-    done;
-    out
-  end
+let kill_sym_t v = function
+  | V.Num n -> V.Num (kill_sym v n)
+  | V.Str n -> V.Str (kill_sym v n)
 
 let kill_base v env =
-  { env with
-    vars = map_shared (kill_sym_t v) env.vars;
-    bufs = map_shared (kill_sym v) env.bufs }
+  { vars = Smap.map (kill_sym_t v) env.vars;
+    bufs = Smap.map (kill_sym v) env.bufs }
 
-(* Narrow a value's interval through its own symbolic bounds, resolved
-   against the current state. *)
 let tighten env (n : V.num) =
   let itv = n.V.itv in
   let itv =
@@ -223,8 +79,6 @@ let tighten env (n : V.num) =
 
 (* ---- expression evaluation ---------------------------------------- *)
 
-(* Reading a buffer variable yields its NUL-terminated contents:
-   length in [0, capacity - 1]. *)
 let buffer_as_str cap =
   let capm1 = I.add cap.V.itv (I.const (-1)) in
   let itv =
@@ -242,15 +96,12 @@ let rec eval env (e : A.expr) : V.t =
   | A.Int_lit n -> V.const n
   | A.Str_lit s -> V.str_of_len (I.const (String.length s))
   | A.Var v -> (
-      match Hashtbl.find_opt env.slots.index v with
-      | None -> V.top
-      | Some i -> (
-          match env.bufs.(i) with
-          | Some cap -> buffer_as_str (tighten env cap)
-          | None -> (
-              match env.vars.(i) with
-              | Some value -> value
-              | None -> V.top)))
+      match Smap.find_opt v env.bufs with
+      | Some cap -> buffer_as_str (tighten env cap)
+      | None -> (
+          match Smap.find_opt v env.vars with
+          | Some value -> value
+          | None -> V.top))
   | A.Bin ((A.Add | A.Sub | A.Mul) as op, a, b) ->
       let x = V.as_num (eval env a) and y = V.as_num (eval env b) in
       let f = match op with
@@ -277,14 +128,10 @@ let negate : I.cmp -> I.cmp = function
   | I.Lt -> I.Ge | I.Le -> I.Gt | I.Gt -> I.Le | I.Ge -> I.Lt
   | I.Eq -> I.Ne | I.Ne -> I.Eq
 
-(* [a op b] read from b's side: [b (flip op) a]. *)
 let flip : I.cmp -> I.cmp = function
   | I.Lt -> I.Gt | I.Le -> I.Ge | I.Gt -> I.Lt | I.Ge -> I.Le
   | I.Eq -> I.Eq | I.Ne -> I.Ne
 
-(* Symbolic bounds the refined side inherits from the other side's
-   affine bounds under "x op b"; bounds over the refined variable
-   itself would be circular and are dropped. *)
 let derived_syms (op : I.cmp) (other : V.num) ~self =
   let drop_self = function
     | Some s when s.V.base = self -> None
@@ -302,28 +149,22 @@ let derived_syms (op : I.cmp) (other : V.num) ~self =
 let restrict env expr itv (lo_sym, hi_sym) =
   match expr with
   | A.Var x -> (
-      match Hashtbl.find_opt env.slots.index x with
-      | None -> env
-      | Some i -> (
-          match env.vars.(i) with
-          | Some (V.Num cur) ->
-              let refined =
-                V.meet_num cur { V.itv; lo_sym; hi_sym; from_atoi = false }
-              in
-              set_var env i (V.Num refined)
-          | _ -> env))
+      match Smap.find_opt x env.vars with
+      | Some (V.Num cur) ->
+          let refined =
+            V.meet_num cur { V.itv; lo_sym; hi_sym; from_atoi = false }
+          in
+          { env with vars = Smap.add x (V.Num refined) env.vars }
+      | _ -> env)
   | A.Strlen (A.Var s) -> (
-      match Hashtbl.find_opt env.slots.index s with
-      | None -> env
-      | Some i -> (
-          match env.vars.(i) with
-          | Some (V.Str cur) ->
-              let refined =
-                V.meet_num cur
-                  { V.itv = I.meet itv I.nat; lo_sym; hi_sym; from_atoi = false }
-              in
-              set_var env i (V.Str refined)
-          | _ -> env))
+      match Smap.find_opt s env.vars with
+      | Some (V.Str cur) ->
+          let refined =
+            V.meet_num cur
+              { V.itv = I.meet itv I.nat; lo_sym; hi_sym; from_atoi = false }
+          in
+          { env with vars = Smap.add s (V.Str refined) env.vars }
+      | _ -> env)
   | _ -> env
 
 let assume_cmp env op a b =
@@ -369,19 +210,16 @@ and assume_not_env env (e : A.expr) : env option =
 (* ---- checkers ------------------------------------------------------ *)
 
 type ctx = {
-  config : config;
-  array_counts : (string, int) Hashtbl.t;
-      (* [config.arrays] resolved once at [analyze] entry; the old
-         shape re-scanned the assoc list on every store the fixpoint
-         re-executed *)
-  mutable raws : raw list;
+  config : Absint.config;
+  mutable raws : Absint.raw list;
   mutable emit : bool;
   mutable loop_iterations : int;
   mutable widenings : int;
 }
 
 let emit ctx path kind detail fact =
-  if ctx.emit then ctx.raws <- { kind; path; detail; fact } :: ctx.raws
+  if ctx.emit then
+    ctx.raws <- { Absint.kind; path; detail; fact } :: ctx.raws
 
 let pos_part itv = I.meet itv (I.of_bounds (I.Fin 1) I.Pinf)
 let neg_part itv = I.meet itv (I.of_bounds I.Minf (I.Fin (-1)))
@@ -389,7 +227,7 @@ let neg_part itv = I.meet itv (I.of_bounds I.Minf (I.Fin (-1)))
 let num_str n = Format.asprintf "%a" V.pp_num n
 
 let check_array_store ctx path arr (idx : V.num) =
-  let count = Hashtbl.find_opt ctx.array_counts arr in
+  let count = List.assoc_opt arr ctx.config.Absint.arrays in
   if not (I.is_bot (neg_part idx.V.itv)) then begin
     emit ctx path
       (Finding.Array_store_oob { array = arr; direction = Finding.Low })
@@ -397,14 +235,14 @@ let check_array_store ctx path arr (idx : V.num) =
          (match count with
           | Some c -> Printf.sprintf " (array has %d slots)" c
           | None -> ""))
-      (Index_fact { idx; count });
+      (Absint.Index_fact { idx; count });
     if idx.V.from_atoi then
       emit ctx path
         (Finding.Atoi_wrap_index { array = arr })
         (Printf.sprintf
            "index flows from atoi: inputs beyond 2^31 wrap negative; \
             abstract index %s" (num_str idx))
-        (Index_fact { idx; count })
+        (Absint.Index_fact { idx; count })
   end;
   match count with
   | Some c ->
@@ -414,11 +252,11 @@ let check_array_store ctx path arr (idx : V.num) =
           (Finding.Array_store_oob { array = arr; direction = Finding.High })
           (Printf.sprintf "index %s can reach %s, past count %d" (num_str idx)
              (I.to_string high) c)
-          (Index_fact { idx; count })
+          (Absint.Index_fact { idx; count })
   | None -> ()
 
 let check_copy ctx env path buf (len : V.num) ~strncpy =
-  match find_buf env buf with
+  match Smap.find_opt buf env.bufs with
   | None -> ()
   | Some cap ->
       let cap = tighten env cap in
@@ -437,12 +275,10 @@ let check_copy ctx env path buf (len : V.num) ~strncpy =
           emit ctx path kind
             (Printf.sprintf "copies len %s (+NUL) into capacity %s; excess %s"
                (num_str len) (num_str cap) (I.to_string excess.V.itv))
-            (Copy_fact { len; cap })
+            (Absint.Copy_fact { len; cap })
       end
 
 (* ---- statement transfer -------------------------------------------- *)
-
-let slot_of env v = Hashtbl.find env.slots.index v
 
 let rec exec_block ctx prefix env stmts =
   List.fold_left
@@ -456,17 +292,13 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
   | Some env -> (
       match stmt with
       | A.Decl_int (v, e) | A.Assign (v, e) ->
-          (* evaluate first (e may read the old v), then invalidate
-             every bound relative to the old v — including in the new
-             value itself (x = x + 1 must not keep "<= x + 1") *)
           let value = kill_sym_t v (eval env e) in
           let env = kill_base v env in
-          Some (set_var env (slot_of env v) value)
+          Some { env with vars = Smap.add v value env.vars }
       | A.Decl_buf (v, n) ->
-          Some (set_buf env (slot_of env v) (V.num (I.const n)))
+          Some { env with bufs = Smap.add v (V.num (I.const n)) env.bufs }
       | A.Decl_buf_dyn (v, e) ->
           let cap = tighten env (V.as_num (eval env e)) in
-          (* runtime capacity is [max 0 e] *)
           let cap =
             match I.lo_int cap.V.itv with
             | Some l when l >= 0 -> cap
@@ -479,7 +311,7 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
                 { V.itv = I.of_bounds (I.Fin 0) hi; lo_sym = cap.V.lo_sym;
                   hi_sym = None; from_atoi = false }
           in
-          Some (set_buf env (slot_of env v) cap)
+          Some { env with bufs = Smap.add v cap env.bufs }
       | A.Array_store (arr, idx_e, _) ->
           let idx = tighten env (V.as_num (eval env idx_e)) in
           if not (I.is_bot idx.V.itv) then check_array_store ctx path arr idx;
@@ -491,7 +323,6 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
       | A.Strncpy (buf, e, bound_e) ->
           let len = tighten env (V.as_len (eval env e)) in
           let bound = tighten env (V.as_num (eval env bound_e)) in
-          (* bound < 0 copies the whole string; otherwise min (len, bound) *)
           let bpos = V.meet_num bound (V.num I.nat) in
           let truncated =
             if I.is_bot bpos.V.itv then None else Some (V.min_num len bpos)
@@ -511,7 +342,7 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
       | A.Recv_into (rc, buf, off_e, max_e) ->
           let off = tighten env (V.as_num (eval env off_e)) in
           let maxv = tighten env (V.as_num (eval env max_e)) in
-          (match find_buf env buf with
+          (match Smap.find_opt buf env.bufs with
            | Some cap0 ->
                let cap = tighten env cap0 in
                let maxpos = I.meet maxv.V.itv (I.of_bounds (I.Fin 1) I.Pinf) in
@@ -527,7 +358,7 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
                         "recv at offset %s of up to %s bytes into capacity \
                          %s; excess %s" (num_str off) (I.to_string maxpos)
                         (num_str cap) (I.to_string excess.V.itv))
-                     (Recv_fact { off; max = maxv; cap })
+                     (Absint.Recv_fact { off; max = maxv; cap })
                end
            | None -> ());
           let rc_itv =
@@ -535,7 +366,6 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
             if I.is_bot m then I.const 0 else I.join (I.const 0) m
           in
           let rc_hi_sym =
-            (* rc <= max only once max is known non-negative *)
             match I.lo_int maxv.V.itv with
             | Some l when l >= 0 -> maxv.V.hi_sym
             | _ -> None
@@ -546,7 +376,7 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
               (V.Num { V.itv = rc_itv; lo_sym = None; hi_sym = rc_hi_sym;
                        from_atoi = false })
           in
-          Some (set_var env (slot_of env rc) rc_val)
+          Some { env with vars = Smap.add rc rc_val env.vars }
       | A.If (c, then_, else_) ->
           let st = exec_block ctx (path @ [ 0 ]) (assume_env env c) then_ in
           let se = exec_block ctx (path @ [ 1 ]) (assume_not_env env c) else_ in
@@ -555,9 +385,6 @@ and exec_stmt ctx path env_opt (stmt : A.stmt) : env option =
       | A.Do_while (body, c) -> exec_do_while ctx path env body c
       | A.Reject _ | A.Return _ -> None)
 
-(* Kleene iteration with widening after two rounds.  Widening drives
-   every bound to a fixed point (intervals jump to infinity, unstable
-   symbolic bounds drop), so the round cap is a safety net only. *)
 and fixpoint ctx step env =
   let rec go head round =
     ctx.loop_iterations <- ctx.loop_iterations + 1;
@@ -605,24 +432,23 @@ and exec_do_while ctx path env body cond =
 
 (* ---- entry --------------------------------------------------------- *)
 
-let initial_env config slots (f : A.func) =
-  let vars = Array.make slots.count None in
-  List.iter
-    (fun p ->
-       match p with
-       | A.Int_param name ->
-           vars.(Hashtbl.find slots.index name)
-           <- Some (V.param_int name config.int_params)
-       | A.Str_param name ->
-           vars.(Hashtbl.find slots.index name) <- Some V.str_top)
-    f.A.params;
-  { slots; vars; bufs = Array.make slots.count None }
+let initial_env (config : Absint.config) (f : A.func) =
+  let vars =
+    List.fold_left
+      (fun m p ->
+         match p with
+         | A.Int_param name ->
+             Smap.add name (V.param_int name config.Absint.int_params) m
+         | A.Str_param name -> Smap.add name V.str_top m)
+      Smap.empty f.A.params
+  in
+  { vars; bufs = Smap.empty }
 
 let dedupe raws =
   let seen = Hashtbl.create 16 in
   List.filter
-    (fun r ->
-       let k = (r.path, Finding.kind_name r.kind) in
+    (fun (r : Absint.raw) ->
+       let k = (r.Absint.path, Finding.kind_name r.Absint.kind) in
        if Hashtbl.mem seen k then false
        else begin
          Hashtbl.add seen k ();
@@ -630,24 +456,13 @@ let dedupe raws =
        end)
     raws
 
-let analyze_allocs = Obs.Allocs.scope "absint.analyze"
-
-let analyze ?(config = default_config) (f : A.func) =
-  Obs.Allocs.measure analyze_allocs @@ fun () ->
+let analyze ?(config = Absint.default_config) (f : A.func) : Absint.result =
   let cfg = Cfg.build f in
-  let array_counts = Hashtbl.create 8 in
-  (* first binding wins, like the List.assoc_opt it replaces *)
-  List.iter
-    (fun (a, c) ->
-      if not (Hashtbl.mem array_counts a) then Hashtbl.add array_counts a c)
-    config.arrays;
   let ctx =
-    { config; array_counts; raws = []; emit = true; loop_iterations = 0;
-      widenings = 0 }
+    { config; raws = []; emit = true; loop_iterations = 0; widenings = 0 }
   in
-  let slots = build_slots f in
-  ignore (exec_block ctx [] (Some (initial_env config slots f)) f.A.body);
-  { cfg;
+  ignore (exec_block ctx [] (Some (initial_env config f)) f.A.body);
+  { Absint.cfg;
     raws = dedupe (List.rev ctx.raws);
     loop_iterations = ctx.loop_iterations;
     widenings = ctx.widenings }

@@ -280,6 +280,45 @@ let test_chaos_mangled_csv () =
   Alcotest.(check bool) "pp renders" true
     (String.length (Format.asprintf "%a" Chaos.pp report) > 0)
 
+(* ---- allocs: span-scoped allocation accounting -------------------- *)
+
+let counter_in_snapshot name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Counter_v v) -> v
+  | _ -> Alcotest.failf "%s missing from snapshot" name
+
+let test_allocs_scope_measures () =
+  let scope = Obs.Allocs.scope "test.obs.leg" in
+  let r =
+    Obs.Allocs.measure scope (fun () ->
+        Array.length (Array.init 4096 string_of_int))
+  in
+  Alcotest.(check int) "closure result" 4096 r;
+  Alcotest.(check bool) "bytes charged" true
+    (counter_in_snapshot "alloc.test.obs.leg.bytes" > 0);
+  Alcotest.(check bool) "minor words charged" true
+    (counter_in_snapshot "alloc.test.obs.leg.minor_words" > 0);
+  Alcotest.(check int) "one span" 1 (counter_in_snapshot "alloc.test.obs.leg.spans")
+
+let test_allocs_records_on_raise () =
+  let scope = Obs.Allocs.scope "test.obs.raise" in
+  (match
+     Obs.Allocs.measure scope (fun () ->
+         ignore (Sys.opaque_identity (List.init 1000 string_of_int));
+         raise Exit)
+   with
+   | () -> Alcotest.fail "closure was expected to raise"
+   | exception Exit -> ());
+  Alcotest.(check int) "span recorded despite raise" 1
+    (counter_in_snapshot "alloc.test.obs.raise.spans");
+  Alcotest.(check bool) "bytes recorded despite raise" true
+    (counter_in_snapshot "alloc.test.obs.raise.bytes" > 0)
+
+let test_allocs_bytes_of () =
+  let r, bytes = Obs.Allocs.bytes_of (fun () -> Bytes.make 100_000 'x') in
+  Alcotest.(check int) "probe result" 100_000 (Bytes.length r);
+  Alcotest.(check bool) "probe saw the allocation" true (bytes >= 100_000.)
+
 let () =
   Alcotest.run "obs"
     [ ("trace",
@@ -295,6 +334,11 @@ let () =
            test_snapshot_reports_counter;
          Alcotest.test_case "registration idempotent" `Quick
            test_registration_idempotent ]);
+      ("allocs",
+       [ Alcotest.test_case "scope measures" `Quick test_allocs_scope_measures;
+         Alcotest.test_case "records on raise" `Quick
+           test_allocs_records_on_raise;
+         Alcotest.test_case "bytes_of probe" `Quick test_allocs_bytes_of ]);
       ("digest-cache",
        [ Alcotest.test_case "bounded with evictions" `Quick
            test_digest_cache_bounded ]);

@@ -296,6 +296,54 @@ let test_sched_por_preserves_final_states () =
   Alcotest.(check bool) "reduced run is still complete" true
     (Fault.Budget.complete reduced.Sched.coverage)
 
+(* The bitmask [schedules_por] must emit the exact schedule sequence of
+   the list-set reference, not merely the same trace coverage. *)
+let schedule_labels seq =
+  List.of_seq (Seq.map (List.map (fun s -> s.Sched.label)) seq)
+
+let check_por_matches_ref name procs =
+  Alcotest.(check (list (list string)))
+    name
+    (schedule_labels (Sched.schedules_por_ref ~independent:E.independent procs))
+    (schedule_labels (Sched.schedules_por ~independent:E.independent procs))
+
+let test_sched_por_bitmask_matches_ref () =
+  check_por_matches_ref "independent pair"
+    [ [ append_step "a1" "x"; append_step "a2" "x" ]; [ append_step "b1" "y" ] ];
+  check_por_matches_ref "conflicting pair"
+    [ [ append_step "a1" "x"; append_step "a2" "x" ]; [ append_step "b1" "x" ] ];
+  check_por_matches_ref "spectator"
+    [ [ append_step "a1" "x"; append_step "a2" "x" ];
+      [ append_step "b1" "x" ];
+      [ append_step "c1" "y" ] ];
+  check_por_matches_ref "empty process dropped"
+    [ [ append_step "a1" "x" ]; []; [ append_step "b1" "y" ] ];
+  check_por_matches_ref "no processes" []
+
+let prop_por_bitmask_matches_reference =
+  let open QCheck in
+  let cell = Gen.oneofl [ "x"; "y"; "z" ] in
+  let proc p =
+    Gen.map
+      (List.mapi (fun i (c, w) ->
+           let label = Printf.sprintf "p%d.%d:%s%s" p i (if w then "w" else "r") c in
+           let eff = if w then E.writes (E.Mem c) else E.reads (E.Mem c) in
+           Sched.step_e label ~effects:[ eff ] (fun log -> log := label :: !log)))
+      (Gen.list_size (Gen.int_range 0 3) (Gen.pair cell Gen.bool))
+  in
+  let procs =
+    Gen.(int_range 2 3 >>= fun n -> flatten_l (List.init n proc))
+  in
+  Test.make ~name:"bitmask POR = list-set POR, schedule for schedule"
+    ~count:200
+    (make ~print:(fun ps ->
+         String.concat " | "
+           (List.map (fun p -> String.concat "," (List.map (fun s -> s.Sched.label) p)) ps))
+       procs)
+    (fun procs ->
+       schedule_labels (Sched.schedules_por ~independent:E.independent procs)
+       = schedule_labels (Sched.schedules_por_ref ~independent:E.independent procs))
+
 (* ---- socket ------------------------------------------------------ *)
 
 let test_socket_chunked_recv () =
@@ -376,7 +424,10 @@ let () =
          Alcotest.test_case "keeps conflicting" `Quick
            test_sched_por_keeps_conflicting;
          Alcotest.test_case "preserves final states" `Quick
-           test_sched_por_preserves_final_states ]);
+           test_sched_por_preserves_final_states;
+         Alcotest.test_case "bitmask matches reference" `Quick
+           test_sched_por_bitmask_matches_ref;
+         QCheck_alcotest.to_alcotest prop_por_bitmask_matches_reference ]);
       ("socket",
        [ Alcotest.test_case "chunked recv" `Quick test_socket_chunked_recv;
          Alcotest.test_case "remaining" `Quick test_socket_remaining;

@@ -191,6 +191,38 @@ let prop_linter_precise_and_witnessed =
                         ~args:w.F.args))
             r.L.findings)
 
+(* ---- absint vs its Smap reference -------------------------------- *)
+
+(* [Absint_ref] is the pre-slot string-map interpreter, kept as the
+   executable specification; the production analyzer must match it
+   finding for finding and fixpoint count for fixpoint count. *)
+
+let result_sig (r : Ai.result) =
+  (List.map (fun (raw : Ai.raw) -> (F.kind_name raw.Ai.kind, raw.Ai.path, raw.Ai.detail))
+     r.Ai.raws,
+   r.Ai.loop_iterations,
+   r.Ai.widenings)
+
+let sig_t =
+  Alcotest.(triple (list (triple string (list int) string)) int int)
+
+let test_absint_matches_reference_corpus () =
+  List.iter
+    (fun (name, f) ->
+       Alcotest.check sig_t name
+         (result_sig (Staticcheck.Absint_ref.analyze ~config:L.corpus_config f))
+         (result_sig (Ai.analyze ~config:L.corpus_config f)))
+    C.all
+
+let prop_absint_matches_reference_progen =
+  let open QCheck in
+  Test.make ~name:"slot-env absint = Smap reference on progen" ~count:60
+    (int_range 0 100_000)
+    (fun seed ->
+       let f = G.func ~seed in
+       result_sig (Ai.analyze f)
+       = result_sig (Staticcheck.Absint_ref.analyze f))
+
 let () =
   Alcotest.run "staticcheck"
     [ ("interval",
@@ -205,7 +237,10 @@ let () =
          Alcotest.test_case "off-by-one distinguished" `Quick
            test_absint_distinguishes_off_by_one;
          Alcotest.test_case "widening converges" `Quick
-           test_absint_widening_converges ]);
+           test_absint_widening_converges;
+         Alcotest.test_case "matches Smap reference on corpus" `Quick
+           test_absint_matches_reference_corpus;
+         QCheck_alcotest.to_alcotest prop_absint_matches_reference_progen ]);
       ("validation",
        [ Alcotest.test_case "witnesses replay" `Quick
            test_confirmed_witnesses_replay;
