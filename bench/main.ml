@@ -8,7 +8,7 @@
                [--smoke] [--json [FILE]] [--compare FILE] [--threshold PCT]
 
    --smoke     runs the fast subset (figure-1 check, lint sweep, the
-               resilience, PAR, OBS, SERVE, STORE and PERF sections) —
+               resilience, PAR, OBS, SERVE, STORE, PERF and CORPUS sections) —
                the CI perf-trajectory step
    --json      additionally writes every recorded metric as machine-
                readable JSON (default file: BENCH.json)
@@ -1244,6 +1244,75 @@ let perf_bench () =
   record ~section:"PERF" "absint-slots-bytes" abytes_s;
   record ~section:"PERF" "absint-agree" (if raws_m = raws_s then 1. else 0.)
 
+(* ================= CORPUS: streaming generation + classification == *)
+
+(* The cost model of the million-report path at bench scale: the
+   legacy whole-database generator versus the chunked stream (same
+   report content by construction), and the end-to-end store-less
+   classification sweep.  Bytes come from {!Obs.Allocs.minor_bytes_of}
+   (a pure allocation-event count, independent of collector phase)
+   with the min over three repetitions, measured at -j 1 so every
+   allocation lands on the measuring domain — pool-domain allocation
+   is invisible to the caller's GC counters and scheduling-dependent.
+   That makes -bytes the precise gate; wall-clock (at ambient jobs)
+   catches catastrophes. *)
+let corpus_bench () =
+  section "CORPUS -- streaming corpus generation and classification";
+  let total = Vulndb.Synth.legacy_total in
+  let serial_bytes f =
+    let prev = Par.jobs () in
+    Par.set_jobs 1;
+    Fun.protect ~finally:(fun () -> Par.set_jobs prev) (fun () ->
+        let m = ref infinity in
+        for _ = 1 to 3 do
+          let _, b = Obs.Allocs.minor_bytes_of f in
+          if b < !m then m := b
+        done;
+        !m)
+  in
+  let db = Vulndb.Synth.generate ~seed:1 in  (* warm-up *)
+  let legacy_bytes = serial_bytes (fun () -> Vulndb.Synth.generate ~seed:1) in
+  let _, legacy_t = wall (fun () -> ignore (Vulndb.Synth.generate ~seed:1)) in
+  let stream () =
+    let n = ref 0 in
+    (match
+       Vulndb.Synth.generate_stream ~seed:1 ~total ~chunk:1024
+         (fun ~index:_ rs -> n := !n + List.length rs)
+     with
+     | Ok _ -> ()
+     | Error e -> failwith (Vulndb.Synth.error_to_string e));
+    !n
+  in
+  let stream_bytes = serial_bytes (fun () -> ignore (stream ())) in
+  let streamed, stream_t = wall (fun () -> stream ()) in
+  let chunk = if !smoke then 256 else 512 in
+  let ctotal = if !smoke then 1500 else total in
+  let classify () =
+    match Corpus.Pipeline.run ~seed:1 ~total:ctotal ~chunk () with
+    | Ok t -> t
+    | Error e -> failwith (Vulndb.Synth.error_to_string e)
+  in
+  let t0 = classify () in  (* warm-up; also the reported accuracy *)
+  let _, classify_t = wall (fun () -> ignore (classify ())) in
+  let rate t n = float_of_int n /. t in
+  Format.printf "corpus of %d reports (stream chunk 1024):@." total;
+  Format.printf "  legacy generate     %8.2f ms  %12.0f bytes  %10.0f reports/s@."
+    (legacy_t *. 1000.) legacy_bytes
+    (rate legacy_t (Vulndb.Database.size db));
+  Format.printf "  chunked stream      %8.2f ms  %12.0f bytes  %10.0f reports/s@."
+    (stream_t *. 1000.) stream_bytes (rate stream_t streamed);
+  Format.printf
+    "  classify (%7d)  %8.2f ms  accuracy %.4f vs baseline %.4f@." ctotal
+    (classify_t *. 1000.) t0.Corpus.Pipeline.accuracy
+    t0.Corpus.Pipeline.baseline;
+  record ~section:"CORPUS" "legacy-generate-ms" (legacy_t *. 1000.);
+  record ~section:"CORPUS" "legacy-generate-bytes" legacy_bytes;
+  record ~section:"CORPUS" "stream-generate-ms" (stream_t *. 1000.);
+  record ~section:"CORPUS" "stream-generate-bytes" stream_bytes;
+  record ~section:"CORPUS" "stream-reports-per-s" (rate stream_t streamed);
+  record ~section:"CORPUS" "classify-ms" (classify_t *. 1000.);
+  record ~section:"CORPUS" "classify-accuracy" t0.Corpus.Pipeline.accuracy
+
 (* ================= Part 2: Bechamel micro-benchmarks ============== *)
 
 open Bechamel
@@ -1489,7 +1558,7 @@ let run_benchmarks () =
 let usage () =
   prerr_endline
     "usage: bench [--smoke] [--json [FILE]] [--compare FILE] [--threshold PCT]\n\
-    \  --smoke          fast subset (figure 1, lint sweep, resilience, PAR, OBS, SERVE, STORE, PERF)\n\
+    \  --smoke          fast subset (figure 1, lint sweep, resilience, PAR, OBS, SERVE, STORE, PERF, CORPUS)\n\
     \  --json [FILE]    also write metrics as JSON (default BENCH.json)\n\
     \  --compare FILE   diff this run's cost metrics (-ms/-s/-bytes keys)\n\
     \                   against a committed baseline JSON; exit 1 on any\n\
@@ -1540,7 +1609,8 @@ let () =
     obs_bench ();
     serve_bench ();
     store_bench ();
-    perf_bench ()
+    perf_bench ();
+    corpus_bench ()
   end
   else begin
     fig1 ();
@@ -1572,6 +1642,7 @@ let () =
     serve_bench ();
     store_bench ();
     perf_bench ();
+    corpus_bench ();
     run_benchmarks ()
   end;
   (match !json_out with Some path -> write_json path | None -> ());

@@ -653,6 +653,27 @@ let races jobs json por budget app trace metrics =
       "races: confirmed TOCTTOU race(s) present"
   end
 
+(* Streaming corpus classification: the Figure-1 distribution scaled
+   to --total reports, generated chunk by chunk on the domain pool,
+   spilled through the store as checksummed shards, per-chunk
+   classification summaries cached so warm reruns recompute nothing,
+   and merged in chunk-index order — byte-identical at every -j and
+   invariant under --chunk.  Exit 1 iff the sweep loses reports or
+   the classifier fails to beat the majority-class baseline. *)
+let classify jobs store seed total chunk smoke json trace metrics =
+  with_jobs jobs @@ fun () ->
+  with_store store @@ fun () ->
+  with_obs ?trace ?metrics @@ fun () ->
+  let total = if smoke then 1500 else total in
+  let chunk = if smoke then 128 else chunk in
+  match Corpus.Pipeline.run ~seed ~total ~chunk () with
+  | Error e -> `Error (false, "classify: " ^ Vulndb.Synth.error_to_string e)
+  | Ok t ->
+      if json then print_endline (Corpus.Pipeline.to_json t)
+      else Format.printf "%a@?" Corpus.Pipeline.pp t;
+      gate ~ok:(Corpus.Pipeline.ok t)
+        "classify: lost reports or classifier below the majority baseline"
+
 (* ---- cmdliner plumbing ------------------------------------------- *)
 
 open Cmdliner
@@ -977,6 +998,38 @@ let fsck_cmd =
              clean.")
     Term.(ret (const fsck $ store_arg $ fsck_dir_arg $ repair_flag $ json_flag))
 
+let total_arg =
+  Arg.(value & opt int Vulndb.Synth.legacy_total
+       & info [ "total" ] ~docv:"N"
+         ~doc:"Corpus size: the Figure-1 category distribution scaled to N \
+               reports (largest-remainder apportionment; default the paper's \
+               5925).  Invalid or id-space-overflowing totals are typed \
+               usage errors, not crashes.")
+
+let chunk_arg =
+  Arg.(value & opt int 4096
+       & info [ "chunk" ] ~docv:"N"
+         ~doc:"Reports per generated chunk (the streaming granule and the \
+               on-disk shard size; the result is invariant under it).")
+
+let classify_smoke_arg =
+  Arg.(value & flag
+       & info [ "smoke" ]
+         ~doc:"CI subset: a reduced corpus (1500 reports, 128-report \
+               chunks), same contract.")
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Stream a scaled Figure-1 corpus through the nearest-centroid \
+             classifier: chunked generation on the domain pool, checksummed \
+             store spill, cached per-chunk summaries (warm reruns recompute \
+             nothing), deterministic merge.  Exit 1 iff reports are lost or \
+             accuracy drops below the majority-class baseline.")
+    Term.(ret (const classify $ jobs_arg $ store_arg $ seed_arg $ total_arg
+               $ chunk_arg $ classify_smoke_arg $ json_flag $ trace_arg
+               $ metrics_file_arg))
+
 let main =
   Cmd.group
     (Cmd.info "dfsm" ~version:"1.0.0"
@@ -984,7 +1037,7 @@ let main =
     [ stats_cmd; analyze_cmd; dot_cmd; exploit_cmd_; consistency_cmd; discover_cmd;
       lemma_cmd; metrics_cmd; ablation_cmd; csv_cmd; trend_cmd; check_cmd;
       baselines_cmd; extract_cmd; lint_cmd; matrix_cmd; export_cmd; faults_cmd;
-      chaos_cmd; serve_cmd; races_cmd; fsck_cmd ]
+      chaos_cmd; serve_cmd; races_cmd; fsck_cmd; classify_cmd ]
 
 (* The exit-code contract: cmdliner's usage errors (unknown command,
    unknown application, bad flags) land on 2; term-level failures

@@ -1,0 +1,90 @@
+module Report = Vulndb.Report
+
+let version = "corpus-features/1"
+
+(* model-derived slots, then metadata slots *)
+let names =
+  [| "operations"; "objects"; "activities"; "gates"; "object_type_checks";
+     "content_attribute_checks"; "reference_consistency_checks";
+     "missing_checks"; "range_remote"; "range_local"; "range_both";
+     "title_length"; "title_words"; "year" |]
+
+let dim = Array.length names
+
+let model_dim = 8
+
+let model_of_flaw = function
+  | Report.Stack_buffer_overflow -> Some (Apps.Buffer_overflow_pattern.model ())
+  | Report.Heap_overflow -> Some (Apps.Nullhttpd.model (Apps.Nullhttpd.setup ()))
+  | Report.Integer_overflow -> Some (Apps.Int_overflow_pattern.model ())
+  | Report.Format_string -> Some (Apps.Format_string_pattern.model ())
+  | Report.File_race -> Some (Apps.Xterm.model ())
+  | Report.Path_traversal -> Some (Apps.Iis.model (Apps.Iis.setup ()))
+  | Report.Other_flaw -> None
+
+let all_flaws =
+  [| Report.Stack_buffer_overflow; Report.Heap_overflow;
+     Report.Integer_overflow; Report.Format_string; Report.File_race;
+     Report.Path_traversal; Report.Other_flaw |]
+
+let flaw_index = function
+  | Report.Stack_buffer_overflow -> 0
+  | Report.Heap_overflow -> 1
+  | Report.Integer_overflow -> 2
+  | Report.Format_string -> 3
+  | Report.File_race -> 4
+  | Report.Path_traversal -> 5
+  | Report.Other_flaw -> 6
+
+let kind_count kinds k =
+  match List.assoc_opt k kinds with Some n -> float_of_int n | None -> 0.
+
+(* Computed eagerly, on the main domain, before any Par fan-out can
+   race the lazy guts of model construction. *)
+let flaw_table : float array array =
+  Array.map
+    (fun flaw ->
+      match model_of_flaw flaw with
+      | None -> Array.make model_dim 0.
+      | Some m ->
+          let t = Pfsm.Metrics.of_model m in
+          [| float_of_int t.Pfsm.Metrics.operations;
+             float_of_int (List.length t.Pfsm.Metrics.objects);
+             float_of_int t.Pfsm.Metrics.elementary_activities;
+             float_of_int (max 0 (t.Pfsm.Metrics.operations - 1));
+             kind_count t.Pfsm.Metrics.kinds Pfsm.Taxonomy.Object_type_check;
+             kind_count t.Pfsm.Metrics.kinds Pfsm.Taxonomy.Content_attribute_check;
+             kind_count t.Pfsm.Metrics.kinds Pfsm.Taxonomy.Reference_consistency_check;
+             float_of_int t.Pfsm.Metrics.missing_checks |])
+    all_flaws
+
+let year_of (r : Report.t) =
+  if String.length r.Report.date >= 4 then
+    match int_of_string_opt (String.sub r.Report.date 0 4) with
+    | Some y -> y - 1998
+    | None -> 0
+  else 0
+
+let word_count s =
+  let words = ref 0 and in_word = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' then in_word := false
+      else if not !in_word then begin
+        in_word := true;
+        incr words
+      end)
+    s;
+  !words
+
+let of_report (r : Report.t) =
+  let v = Array.make dim 0. in
+  Array.blit flaw_table.(flaw_index r.Report.flaw) 0 v 0 model_dim;
+  (match r.Report.range with
+   | Report.Remote -> v.(model_dim) <- 1.
+   | Report.Local -> v.(model_dim + 1) <- 1.
+   | Report.Both -> v.(model_dim + 2) <- 1.);
+  v.(model_dim + 3) <- float_of_int (String.length r.Report.title);
+  v.(model_dim + 4) <- float_of_int (word_count r.Report.title);
+  v.(model_dim + 5) <- float_of_int (year_of r);
+  v

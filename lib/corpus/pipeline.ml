@@ -1,0 +1,143 @@
+module Synth = Vulndb.Synth
+module Category = Vulndb.Category
+
+let m_chunks = Obs.Metrics.counter "corpus.chunks"
+let m_reports = Obs.Metrics.counter "corpus.reports"
+let m_generated = Obs.Metrics.counter "corpus.generated"
+let m_summaries = Obs.Metrics.counter "corpus.summaries"
+
+let train_chunk = 512
+
+let key fmt = Printf.ksprintf (fun s -> Digest.to_hex (Digest.string s)) fmt
+
+let centroids ~seed =
+  match Synth.plan ~total:Synth.legacy_total () with
+  | Error e -> Error e
+  | Ok p ->
+      let k =
+        key "corpus-centroids/1|%s|seed=%d|%s" (Synth.plan_digest p) seed
+          Features.version
+      in
+      Ok
+        (Store.Handle.cached ~tag:"corpus-centroids" ~key:k (fun () ->
+             let n = Synth.chunk_count p ~chunk:train_chunk in
+             Classifier.train
+               (Seq.concat_map
+                  (fun i ->
+                    Seq.map
+                      (fun (r : Vulndb.Report.t) ->
+                        (r.Vulndb.Report.category, Features.of_report r))
+                      (List.to_seq
+                         (Synth.chunk_reports p ~seed ~chunk:train_chunk ~index:i)))
+                  (Seq.init n Fun.id))))
+
+type t = {
+  total : int;
+  planned : int;
+  chunk : int;
+  chunks : int;
+  confusion : Classifier.confusion;
+  accuracy : float;
+  baseline : float;
+}
+
+let run ?curated ~seed ~total ~chunk () =
+  if chunk < 1 then Error (Synth.Invalid_chunk chunk)
+  else
+    match Synth.plan ?curated ~total () with
+    | Error e -> Error e
+    | Ok p -> (
+        match centroids ~seed with
+        | Error e -> Error e
+        | Ok model ->
+            let md = Classifier.model_digest model in
+            let pd = Synth.plan_digest p in
+            let n = Synth.chunk_count p ~chunk in
+            let summary i =
+              Store.Handle.cached ~tag:"corpus-summary"
+                ~key:
+                  (key "corpus-summary/1|%s|seed=%d|chunk=%d|index=%d|%s|%s" pd
+                     seed chunk i md Features.version)
+                (fun () ->
+                  Obs.Metrics.incr m_summaries;
+                  let reports =
+                    Store.Handle.cached ~tag:"corpus-chunk"
+                      ~key:
+                        (key "corpus-chunk/1|%s|seed=%d|chunk=%d|index=%d" pd
+                           seed chunk i)
+                      (fun () ->
+                        let rs = Synth.chunk_reports p ~seed ~chunk ~index:i in
+                        Obs.Metrics.add m_generated (List.length rs);
+                        rs)
+                  in
+                  Classifier.classify_all model reports)
+            in
+            let summaries =
+              Par.map ~label:"corpus-classify" summary (Array.init n Fun.id)
+            in
+            let confusion =
+              Array.fold_left Classifier.confusion_merge
+                Classifier.confusion_empty summaries
+            in
+            Obs.Metrics.add m_chunks n;
+            Obs.Metrics.add m_reports confusion.Classifier.n;
+            Ok
+              { total; planned = Synth.plan_size p; chunk; chunks = n;
+                confusion;
+                accuracy = Classifier.accuracy confusion;
+                baseline = Classifier.majority_share confusion })
+
+let ok t = t.confusion.Classifier.n = t.planned && t.accuracy >= t.baseline
+
+let pp ppf t =
+  Format.fprintf ppf "corpus: %d reports planned (%d requested), %d chunk%s of %d@."
+    t.planned t.total t.chunks
+    (if t.chunks = 1 then "" else "s")
+    t.chunk;
+  Format.fprintf ppf "classified: %d  accuracy: %.4f  baseline: %.4f  %s@."
+    t.confusion.Classifier.n t.accuracy t.baseline
+    (if ok t then "ok" else "DEGRADED");
+  Format.fprintf ppf "%-44s %10s %10s %8s@." "category" "reports" "correct"
+    "recall";
+  List.iter
+    (fun (c, total, correct) ->
+      Format.fprintf ppf "%-44s %10d %10d %8s@." (Category.to_string c) total
+        correct
+        (if total = 0 then "-"
+         else Printf.sprintf "%.4f" (float_of_int correct /. float_of_int total)))
+    (Classifier.category_rows t.confusion)
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"total\": %d,\n" t.total;
+  add "  \"planned\": %d,\n" t.planned;
+  add "  \"chunk\": %d,\n" t.chunk;
+  add "  \"chunks\": %d,\n" t.chunks;
+  add "  \"classified\": %d,\n" t.confusion.Classifier.n;
+  add "  \"accuracy\": %.6f,\n" t.accuracy;
+  add "  \"baseline\": %.6f,\n" t.baseline;
+  add "  \"ok\": %b,\n" (ok t);
+  add "  \"categories\": [\n";
+  let rows = Classifier.category_rows t.confusion in
+  List.iteri
+    (fun i (c, total, correct) ->
+      add "    {\"category\": \"%s\", \"reports\": %d, \"correct\": %d}%s\n"
+        (Obs.Metrics.json_escape (Category.to_string c))
+        total correct
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  add "  \"confusion\": [\n";
+  let ncat = Classifier.ncat in
+  for i = 0 to ncat - 1 do
+    Buffer.add_string b "    [";
+    for j = 0 to ncat - 1 do
+      if j > 0 then Buffer.add_string b ", ";
+      add "%d" t.confusion.Classifier.counts.((i * ncat) + j)
+    done;
+    add "]%s\n" (if i = ncat - 1 then "" else ",")
+  done;
+  add "  ]\n}";
+  Buffer.contents b

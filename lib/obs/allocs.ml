@@ -37,3 +37,15 @@ let bytes_of f =
   let bytes0 = Gc.allocated_bytes () in
   let r = f () in
   (r, Gc.allocated_bytes () -. bytes0)
+
+(* [allocated_bytes] folds in major-heap and promotion accounting
+   whose slicing depends on collector phase, so identical work can
+   report deltas that differ by a minor-heap quantum depending on GC
+   state at entry.  The minor-words counter alone is a pure count of
+   allocation events, independent of when collections run — the right
+   probe when a byte count must reproduce across processes (bench
+   baselines gated by --compare). *)
+let minor_bytes_of f =
+  let m0 = Gc.minor_words () in
+  let r = f () in
+  (r, (Gc.minor_words () -. m0) *. float_of_int (Sys.word_size / 8))

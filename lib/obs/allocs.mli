@@ -23,3 +23,11 @@ val measure : t -> (unit -> 'a) -> 'a
 val bytes_of : (unit -> 'a) -> 'a * float
 (** One-shot probe: the closure's result and its allocated-bytes delta
     on this domain, bypassing the registry (bench harnesses). *)
+
+val minor_bytes_of : (unit -> 'a) -> 'a * float
+(** Like {!bytes_of} but counting minor-heap allocation only.
+    [Gc.allocated_bytes] mixes in major/promotion accounting whose
+    slicing depends on collector phase, so its delta for identical
+    work can vary by a minor-heap quantum; the minor-words count is a
+    pure, GC-phase-independent event count — use this when the number
+    must reproduce exactly across processes (gated bench baselines). *)

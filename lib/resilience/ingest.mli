@@ -19,15 +19,20 @@ val csv :
   ?config:Supervisor.config ->
   ?checkpoint:Checkpoint.t ->
   ?stop_after:int ->
+  ?parallel:bool ->
   string ->
   (csv_outcome, Vulndb.Csv.error) result
 (** Document-level problems — the text does not tokenise, or the
     header line is wrong — are [Error]: there are no rows to sweep.
     Row-level problems never are: each row either completes into the
     database or is quarantined with its {!Vulndb.Csv.error} rendered
-    as the [Rejected] detail.  Note a report whose mangled ID
-    collides with an already-ingested one is quarantined too ([add]
-    would otherwise throw the whole database away). *)
+    as the [Rejected] detail.  A report whose (possibly mangled) ID
+    collides with an already-ingested one is rejected too ([add]
+    would otherwise throw the whole database away) — detected in a
+    sequential post-pass over the supervised results, first
+    occurrence wins, so the per-row work closures share no state and
+    [parallel] ingestion (default false: speculate rows on the {!Par}
+    pool) reaches a byte-identical outcome at any [-j]. *)
 
 val synth_verified :
   ?config:Supervisor.config -> seed:int -> unit -> string Supervisor.outcome

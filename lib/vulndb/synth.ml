@@ -1,7 +1,9 @@
 let synthetic_id_base = 100_000
 
-(* Flaw mechanism targets per category.  Family total:
-   700 + 150 + 60 + 50 + 250 + 100 = 1310 of 5925 = 22.1%, the
+let legacy_total = Category.total_reports
+
+(* Flaw mechanism targets per category at the legacy total.  Family
+   total: 700 + 150 + 60 + 50 + 250 + 100 = 1310 of 5925 = 22.1%, the
    paper's "22% of all vulnerabilities". *)
 let flaw_quota = function
   | Category.Boundary_condition_error ->
@@ -75,68 +77,248 @@ let synth_report rng ~id ~category ~flaw =
   Report.make ~id ~title ~date:(date_of rng) ~category ~software ~range ~flaw
     ~synthetic:true ()
 
-(* Generation is sharded per category.  Every per-category report
-   count is fixed by the quotas and the curated database before a
-   single PRNG draw, so each category owns a precomputed id block
-   (prefix sums over [Category.all]) and a child PRNG stream split
-   from the seed ([Par.Seed.child]).  Shards therefore fan out over
-   the domain pool and merge into a database that is a pure function
-   of [seed] — identical for any job count. *)
-let generate ~seed =
-  let db = Database.empty () in
-  List.iter (Database.add db) Seed_data.reports;
-  let curated_in category flaw_opt =
-    List.length
-      (List.filter
-         (fun (rep : Report.t) ->
-            Category.equal rep.Report.category category
-            && (match flaw_opt with
-                | None -> true
-                | Some f -> rep.Report.flaw = f))
-         Seed_data.reports)
-  in
-  (* emission plan per category: (flaw, count) in emission order *)
-  let plan_for category =
-    let per_flaw =
-      List.map
-        (fun (flaw, quota) ->
-          (flaw, max 0 (quota - curated_in category (Some flaw))))
-        (flaw_quota category)
-    in
-    let emitted = List.fold_left (fun acc (_, n) -> acc + n) 0 per_flaw in
-    let target = Category.paper_count category in
-    let other = max 0 (target - (curated_in category None + emitted)) in
-    per_flaw @ [ (Report.Other_flaw, other) ]
-  in
-  let categories = Array.of_list Category.all in
-  let plans = Array.map plan_for categories in
-  let plan_total plan = List.fold_left (fun acc (_, n) -> acc + n) 0 plan in
-  let bases = Array.make (Array.length categories) synthetic_id_base in
-  let acc = ref synthetic_id_base in
+(* ------------------------------------------------------------------ *)
+(* The validated corpus plan. *)
+
+type error =
+  | Invalid_total of int
+  | Invalid_chunk of int
+  | Duplicate_curated_id of int
+  | Id_overflow of { base : int; count : int }
+
+let error_to_string = function
+  | Invalid_total t ->
+      Printf.sprintf "invalid corpus total %d: must be at least 1" t
+  | Invalid_chunk c ->
+      Printf.sprintf "invalid chunk size %d: must be at least 1" c
+  | Duplicate_curated_id id ->
+      Printf.sprintf "duplicate curated report id %d" id
+  | Id_overflow { base; count } ->
+      Printf.sprintf
+        "synthetic id block of %d ids starting at %d overflows the id space"
+        count base
+
+type segment = {
+  seg_category : Category.t;
+  seg_flaw : Report.flaw;
+  seg_first : int;  (* first synthetic position of this segment *)
+  seg_count : int;
+}
+
+type plan = {
+  target : int;
+  curated : Report.t array;  (* ascending id *)
+  synthetic : int;           (* synthetic positions in total *)
+  segments : segment array;  (* contiguous, covering [0, synthetic) *)
+  skips : int array;         (* curated ids >= synthetic_id_base, ascending *)
+  digest : string;
+}
+
+(* Largest-remainder apportionment of [total] over the Figure-1
+   category counts: exact at the legacy total, proportional (within
+   one report) anywhere else, deterministic tie-break by category
+   order. *)
+let scaled_targets total =
+  let cats = Array.of_list Category.all in
+  let n = Array.length cats in
+  let targets = Array.make n 0 and rems = Array.make n 0 in
   Array.iteri
-    (fun i plan ->
-      bases.(i) <- !acc;
-      acc := !acc + plan_total plan)
-    plans;
-  let shard i =
-    let category = categories.(i) in
-    let rng = Prng.create ~seed:(Par.Seed.child ~seed ~index:i) in
-    let next = ref bases.(i) in
-    List.concat_map
-      (fun (flaw, n) ->
-        (* explicit recursion: ids and PRNG draws must advance in
-           emission order (List.init leaves the order unspecified) *)
-        let rec emit k acc =
-          if k = 0 then List.rev acc
-          else begin
-            let id = !next in
-            incr next;
-            emit (k - 1) (synth_report rng ~id ~category ~flaw :: acc)
+    (fun i c ->
+      let share = Category.paper_count c * total in
+      targets.(i) <- share / legacy_total;
+      rems.(i) <- share mod legacy_total)
+    cats;
+  let leftover = total - Array.fold_left ( + ) 0 targets in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare rems.(b) rems.(a) with 0 -> compare a b | c -> c)
+    order;
+  for k = 0 to leftover - 1 do
+    let i = order.(k) in
+    targets.(i) <- targets.(i) + 1
+  done;
+  (cats, targets)
+
+let digest_of ~target ~curated ~segments ~skips =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "dfsm-synth-plan/1|%d|%d" target synthetic_id_base);
+  Array.iter
+    (fun (r : Report.t) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (Csv.of_report r))
+    curated;
+  Array.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "|%s/%s@%d+%d"
+           (Category.to_string s.seg_category)
+           (Report.flaw_to_string s.seg_flaw)
+           s.seg_first s.seg_count))
+    segments;
+  Array.iter (fun id -> Buffer.add_string b (Printf.sprintf "|skip%d" id)) skips;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let plan ?(curated = Seed_data.reports) ~total () =
+  (* [scaled_targets] multiplies paper counts by [total]; reject
+     totals that could overflow that product (typed, up front). *)
+  if total < 1 then Error (Invalid_total total)
+  else if total > max_int / legacy_total then
+    Error (Id_overflow { base = synthetic_id_base; count = total })
+  else begin
+    let curated =
+      Array.of_list
+        (List.sort (fun (a : Report.t) (b : Report.t) -> compare a.Report.id b.Report.id)
+           curated)
+    in
+    let dup = ref None in
+    Array.iteri
+      (fun i (r : Report.t) ->
+        if !dup = None && i > 0 && curated.(i - 1).Report.id = r.Report.id then
+          dup := Some r.Report.id)
+      curated;
+    match !dup with
+    | Some id -> Error (Duplicate_curated_id id)
+    | None ->
+        let curated_in category flaw_opt =
+          Array.fold_left
+            (fun acc (r : Report.t) ->
+              if
+                Category.equal r.Report.category category
+                && (match flaw_opt with None -> true | Some f -> r.Report.flaw = f)
+              then acc + 1
+              else acc)
+            0 curated
+        in
+        let cats, targets = scaled_targets total in
+        let segments = ref [] and pos = ref 0 in
+        let push category flaw count =
+          if count > 0 then begin
+            segments :=
+              { seg_category = category; seg_flaw = flaw; seg_first = !pos;
+                seg_count = count }
+              :: !segments;
+            pos := !pos + count
           end
         in
-        emit n [])
-      plans.(i)
+        Array.iteri
+          (fun i category ->
+            let per_flaw =
+              List.map
+                (fun (flaw, quota) ->
+                  let scaled = quota * total / legacy_total in
+                  (flaw, max 0 (scaled - curated_in category (Some flaw))))
+                (flaw_quota category)
+            in
+            let emitted = List.fold_left (fun acc (_, n) -> acc + n) 0 per_flaw in
+            let other =
+              max 0 (targets.(i) - (curated_in category None + emitted))
+            in
+            List.iter (fun (flaw, n) -> push category flaw n) per_flaw;
+            push category Report.Other_flaw other)
+          cats;
+        let synthetic = !pos in
+        let segments = Array.of_list (List.rev !segments) in
+        let skips =
+          Array.of_list
+            (List.filter
+               (fun id -> id >= synthetic_id_base)
+               (Array.to_list (Array.map (fun (r : Report.t) -> r.Report.id) curated)))
+        in
+        if
+          synthetic > 0
+          && synthetic > max_int - synthetic_id_base - Array.length skips
+        then Error (Id_overflow { base = synthetic_id_base; count = synthetic })
+        else
+          Ok
+            { target = total; curated; synthetic; segments; skips;
+              digest = digest_of ~target:total ~curated ~segments ~skips }
+  end
+
+let plan_size p = Array.length p.curated + p.synthetic
+
+let plan_synthetic p = p.synthetic
+
+let plan_digest p = p.digest
+
+let chunk_count p ~chunk = (plan_size p + chunk - 1) / chunk
+
+(* Synthetic ids count up from the base, stepping over curated ids
+   that live inside the block (ascending cascade: every skipped id
+   shifts the rest of the block up by one). *)
+let id_at p pos =
+  let id = ref (synthetic_id_base + pos) in
+  Array.iter (fun s -> if s <= !id then incr id) p.skips;
+  !id
+
+let seg_at p sp =
+  let lo = ref 0 and hi = ref (Array.length p.segments - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s = p.segments.(mid) in
+    if sp < s.seg_first then hi := mid - 1
+    else if sp >= s.seg_first + s.seg_count then lo := mid + 1
+    else begin
+      lo := mid;
+      hi := mid
+    end
+  done;
+  p.segments.(!lo)
+
+let report_at p ~seed ~pos =
+  let nc = Array.length p.curated in
+  if pos < nc then p.curated.(pos)
+  else begin
+    let sp = pos - nc in
+    let seg = seg_at p sp in
+    let rng = Prng.create ~seed:(Par.Seed.child ~seed ~index:sp) in
+    synth_report rng ~id:(id_at p sp) ~category:seg.seg_category
+      ~flaw:seg.seg_flaw
+  end
+
+let chunk_reports p ~seed ~chunk ~index =
+  let size = plan_size p in
+  let lo = index * chunk in
+  let hi = min size (lo + chunk) in
+  let rec go i acc =
+    if i < lo then acc else go (i - 1) (report_at p ~seed ~pos:i :: acc)
   in
-  let shards = Par.map shard (Array.init (Array.length categories) Fun.id) in
-  Array.iter (List.iter (Database.add db)) shards;
-  db
+  go (hi - 1) []
+
+(* ------------------------------------------------------------------ *)
+(* Streaming generation.  Every report is a pure function of
+   [(plan, seed, position)], so chunks fan out over the domain pool
+   and the merge is trivially deterministic: the sink sees chunk 0,
+   chunk 1, ... with identical contents at any [-j] and any chunk
+   size.  Only one wave of chunks is resident at a time. *)
+
+let generate_stream ?curated ~seed ~total ~chunk f =
+  if chunk < 1 then Error (Invalid_chunk chunk)
+  else
+    match plan ?curated ~total () with
+    | Error e -> Error e
+    | Ok p ->
+        let n = chunk_count p ~chunk in
+        let wave = max 1 (2 * Par.jobs ()) in
+        let next = ref 0 in
+        while !next < n do
+          let count = min wave (n - !next) in
+          let first = !next in
+          let lists =
+            Par.map ~label:"synth-stream"
+              (fun i -> chunk_reports p ~seed ~chunk ~index:i)
+              (Array.init count (fun k -> first + k))
+          in
+          Array.iteri (fun k l -> f ~index:(first + k) l) lists;
+          next := first + count
+        done;
+        Ok (plan_size p)
+
+let generate ~seed =
+  let db = Database.empty () in
+  match
+    generate_stream ~seed ~total:legacy_total ~chunk:512 (fun ~index:_ rs ->
+        List.iter (Database.add db) rs)
+  with
+  | Ok _ -> db
+  | Error e -> invalid_arg ("Synth.generate: " ^ error_to_string e)

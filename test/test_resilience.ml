@@ -428,6 +428,94 @@ let test_ingest_under_bitflip () =
         (R.Run_report.to_json b.R.Ingest.report)
   | _ -> Alcotest.fail "document-level failure under bitflip"
 
+let with_jobs jobs f =
+  let prev = Par.jobs () in
+  Par.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Par.set_jobs prev) f
+
+let test_ingest_duplicates_parallel_identical () =
+  (* duplicate detection used to live inside the per-row work closure
+     behind a shared Hashtbl, so speculating rows on pool domains
+     raced on it; it is now a sequential post-pass, and a
+     duplicate-bearing document must ingest identically at -j 1
+     sequential and -j 4 parallel *)
+  let reports = Vulndb.Database.reports (Vulndb.Seed_data.database ()) in
+  let first = List.hd reports in
+  let impostor =
+    Vulndb.Report.make ~id:first.Vulndb.Report.id
+      ~title:"Impostor row with a recycled id" ~date:"1999-01-01"
+      ~category:Vulndb.Category.Unknown ~software:"impostor" ()
+  in
+  let rows =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           let row = Vulndb.Csv.of_report r in
+           if i mod 3 = 0 then [ row; row ] else [ row ])
+         reports)
+    @ [ Vulndb.Csv.of_report impostor ]
+  in
+  let doc = String.concat "\n" (Vulndb.Csv.header :: rows) ^ "\n" in
+  let seq = with_jobs 1 (fun () -> R.Ingest.csv doc) in
+  let par = with_jobs 4 (fun () -> R.Ingest.csv ~parallel:true doc) in
+  match seq, par with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "databases identical" true
+        (Vulndb.Database.reports a.R.Ingest.db
+         = Vulndb.Database.reports b.R.Ingest.db);
+      Alcotest.(check string) "run reports byte-identical"
+        (R.Run_report.to_json a.R.Ingest.report)
+        (R.Run_report.to_json b.R.Ingest.report);
+      Alcotest.(check bool) "first occurrence wins" true
+        (List.exists
+           (fun (r : Vulndb.Report.t) ->
+             r.Vulndb.Report.id = first.Vulndb.Report.id
+             && r.Vulndb.Report.title = first.Vulndb.Report.title)
+           (Vulndb.Database.reports a.R.Ingest.db));
+      let dup_count =
+        List.length
+          (List.filter
+             (fun (e : _ R.Quarantine.entry) ->
+               match e.R.Quarantine.cause with
+               | R.Quarantine.Rejected { detail } ->
+                   let sub = "duplicate report id" in
+                   let rec find i =
+                     i + String.length sub <= String.length detail
+                     && (String.sub detail i (String.length sub) = sub
+                         || find (i + 1))
+                   in
+                   find 0
+               | _ -> false)
+             (R.Quarantine.entries a.R.Ingest.rejected))
+      in
+      Alcotest.(check int) "every later duplicate quarantined"
+        (List.length rows - List.length reports)
+        dup_count
+  | _ -> Alcotest.fail "duplicate-bearing document failed to ingest"
+
+let test_ingest_many_rejects () =
+  (* back-mapping quarantined supervisor items to their source rows
+     was a List.find over the quarantine per row — O(rows x rejects);
+     with ~6000 rejects among ~12000 rows that was minutes, the
+     Hashtbl index makes it instant *)
+  let valid =
+    Vulndb.Database.reports (Vulndb.Synth.generate ~seed:41)
+    |> List.map Vulndb.Csv.of_report
+  in
+  let bad = List.init 6000 (fun i -> Printf.sprintf "bad,row,%d" i) in
+  let doc = String.concat "\n" (Vulndb.Csv.header :: (valid @ bad)) ^ "\n" in
+  match R.Ingest.csv doc with
+  | Error e -> Alcotest.failf "document-level failure: %s" (Vulndb.Csv.error_to_string e)
+  | Ok o ->
+      Alcotest.(check int) "valid rows ingested" (List.length valid)
+        (Vulndb.Database.size o.R.Ingest.db);
+      Alcotest.(check int) "every bad row quarantined" (List.length bad)
+        (R.Quarantine.count o.R.Ingest.rejected);
+      Alcotest.(check bool) "no lost rows" true
+        (R.Run_report.no_lost
+           ~expected:(List.length valid + List.length bad)
+           o.R.Ingest.report)
+
 let test_synth_verified () =
   let out = R.Ingest.synth_verified ~seed:20021130 () in
   Alcotest.(check bool) "four stages complete" true
@@ -487,6 +575,10 @@ let () =
        [ Alcotest.test_case "clean round trip" `Quick test_ingest_clean;
          Alcotest.test_case "bad documents and rows" `Quick test_ingest_bad_document;
          Alcotest.test_case "bitflip quarantine" `Quick test_ingest_under_bitflip;
+         Alcotest.test_case "duplicates: -j 1 = -j 4 parallel" `Quick
+           test_ingest_duplicates_parallel_identical;
+         Alcotest.test_case "many rejects back-map instantly" `Quick
+           test_ingest_many_rejects;
          Alcotest.test_case "synth pipeline" `Quick test_synth_verified ]);
       ("chaos",
        [ Alcotest.test_case "catalog contract" `Quick test_chaos_contract;
